@@ -1,0 +1,138 @@
+// Command figure1 reproduces the paper's Figure 1: it executes
+// Algorithm 1 on the reconstructed 6-process run where Psrcs(3) holds and
+// prints the skeleton graphs G^∩2 and G^∩∞ (Figures 1a, 1b) and p6's
+// approximation graphs G¹p6..G⁸p6 (Figures 1c-1h plus the convergence to
+// the steady state), followed by the decision table.
+//
+// Usage:
+//
+//	figure1 [-dot] [-rounds N]
+//
+// With -dot, Graphviz sources are emitted instead of text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kset/internal/adversary"
+	"kset/internal/core"
+	"kset/internal/graph"
+	"kset/internal/rounds"
+	"kset/internal/skeleton"
+	"kset/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure1: ")
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text")
+	nRounds := flag.Int("rounds", 8, "rounds of p6's approximation to show")
+	flag.Parse()
+
+	run := adversary.Figure1()
+	const n = 6
+	const p6 = 5
+
+	// Skeletons (Figures 1a and 1b).
+	tr := skeleton.NewTracker(n, true)
+	for r := 1; r <= *nRounds; r++ {
+		tr.Observe(r, run.Graph(r))
+	}
+	stable := run.StableSkeleton()
+
+	if *dot {
+		fmt.Print(graph.DOT(tr.At(2), "G_cap_2", true))
+		fmt.Print(graph.DOT(stable, "G_cap_inf", true))
+	} else {
+		fmt.Println("Figure 1a — round-2 skeleton G^∩2 (self-loops omitted in the paper):")
+		fmt.Print(graph.ASCII(tr.At(2)))
+		fmt.Println()
+		fmt.Println("Figure 1b — stable skeleton G^∩∞:")
+		fmt.Print(graph.ASCII(stable))
+		fmt.Printf("\nroot components: ")
+		for i, rc := range graph.RootComponents(stable) {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(rc)
+		}
+		fmt.Printf("   (Psrcs(3) holds; MinK = 3)\n\n")
+	}
+
+	// Execute Algorithm 1 and capture p6's approximations.
+	procs := make([]*core.Process, n)
+	factory := core.NewFactory([]int64{1, 2, 3, 4, 5, 6}, core.Options{})
+	for i := range procs {
+		procs[i] = factory(i).(*core.Process)
+		procs[i].Init(i, n)
+	}
+	msgs := make([]any, n)
+	figure := adversary.Figure1LabelMultisets()
+	for r := 1; r <= *nRounds; r++ {
+		for i, p := range procs {
+			msgs[i] = p.Send(r)
+		}
+		g := run.Graph(r)
+		for q := 0; q < n; q++ {
+			recv := make([]any, n)
+			g.ForEachIn(q, func(p int) { recv[p] = msgs[p] })
+			procs[q].Transition(r, recv)
+		}
+		approx := procs[p6].Approx()
+		if *dot {
+			fmt.Print(graph.DOTLabeled(approx, fmt.Sprintf("G%d_p6", r), true))
+			continue
+		}
+		fmt.Printf("Figure 1%c — G^%d_p6: %s\n", 'b'+byte(r), r, withoutSelfLoops(approx))
+		if r <= len(figure) {
+			fmt.Printf("             paper labels: %v, measured: %v\n",
+				figure[r-1], approx.LabelMultiset())
+		}
+	}
+
+	// Run to completion for the decision table.
+	res, err := rounds.RunSequential(rounds.Config{
+		Adversary:  run,
+		NewProcess: core.NewFactory([]int64{1, 2, 3, 4, 5, 6}, core.Options{}),
+		MaxRounds:  50,
+		StopWhen:   rounds.AllDecided,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oc, err := trace.Collect(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*dot {
+		fmt.Println()
+		fmt.Print(oc.String())
+		if err := oc.Check(3); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("k-agreement (k=3), validity, termination: all hold")
+	}
+	os.Exit(0)
+}
+
+// withoutSelfLoops renders the labeled edges of g, skipping self-loops to
+// match the paper's drawing convention.
+func withoutSelfLoops(g *graph.Labeled) string {
+	s := ""
+	g.ForEachEdge(func(u, v, l int) {
+		if u == v {
+			return
+		}
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("p%d-%d->p%d", u+1, l, v+1)
+	})
+	if s == "" {
+		return "(no edges)"
+	}
+	return s
+}

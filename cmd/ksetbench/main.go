@@ -1,0 +1,86 @@
+// Command ksetbench runs the reproduction suite E1-E12 (DESIGN.md §3) and
+// prints the measured tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ksetbench [-quick] [-trials N] [-seed S] [-only E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"kset/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ksetbench: ")
+	var (
+		quick  = flag.Bool("quick", false, "reduced trial counts")
+		trials = flag.Int("trials", 0, "override trials per cell")
+		seed   = flag.Int64("seed", 0, "override experiment seed")
+		only   = flag.String("only", "", "run only the experiment with this prefix (e.g. E5)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	type step struct {
+		id  string
+		run func() (*experiments.Result, error)
+	}
+	steps := []step{
+		{"E1", experiments.E1Figure1},
+		{"E2", func() (*experiments.Result, error) { return experiments.E2RootComponents(cfg) }},
+		{"E3", func() (*experiments.Result, error) { return experiments.E3LowerBound(cfg) }},
+		{"E4", func() (*experiments.Result, error) { return experiments.E4DecisionRounds(cfg) }},
+		{"E5", func() (*experiments.Result, error) { return experiments.E5MessageComplexity(cfg) }},
+		{"E6", func() (*experiments.Result, error) { return experiments.E6Baselines(cfg) }},
+		{"E7", func() (*experiments.Result, error) { return experiments.E7Consensus(cfg) }},
+		{"E8", func() (*experiments.Result, error) { return experiments.E8Eventual(cfg) }},
+		{"E9", func() (*experiments.Result, error) { return experiments.E9Ablations(cfg) }},
+		{"E10", func() (*experiments.Result, error) { return experiments.E10GuardFlaw(cfg) }},
+		{"E11", func() (*experiments.Result, error) { return experiments.E11Convergence(cfg) }},
+		{"E12", func() (*experiments.Result, error) { return experiments.E12Mobile(cfg) }},
+	}
+
+	fmt.Printf("k-set agreement with stable skeleton graphs — reproduction suite\n")
+	fmt.Printf("trials/cell=%d seed=%d\n\n", cfg.Trials, cfg.Seed)
+	failures := 0
+	for _, s := range steps {
+		if *only != "" && s.id != *only {
+			continue
+		}
+		start := time.Now()
+		res, err := s.run()
+		if err != nil {
+			log.Fatalf("%s: %v", s.id, err)
+		}
+		fmt.Printf("=== %s (%.1fs)\n", res.Name, time.Since(start).Seconds())
+		fmt.Println(res.Table.Render())
+		for _, note := range res.Notes {
+			fmt.Printf("  note: %s\n", note)
+		}
+		if res.Violations != 0 {
+			fmt.Printf("  *** %d VIOLATIONS ***\n", res.Violations)
+			failures++
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

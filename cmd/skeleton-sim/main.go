@@ -1,0 +1,205 @@
+// Command skeleton-sim runs one instrumented simulation of Algorithm 1
+// under a selectable adversary and prints the outcome: decisions, rounds,
+// stable skeleton, root components, MinK, and (optionally) wire traffic.
+//
+// Usage examples:
+//
+//	skeleton-sim -adversary figure1
+//	skeleton-sim -adversary lowerbound -n 8 -k 3
+//	skeleton-sim -adversary random -n 16 -roots 2 -noise 5 -seed 7
+//	skeleton-sim -adversary churn -n 10 -seed 3 -meter
+//	skeleton-sim -adversary partition -n 9 -blocks 3
+//	skeleton-sim -adversary eventual -n 6 -prefix 6
+//	skeleton-sim -adversary crash -n 8 -crashes 3
+//	skeleton-sim -adversary witness            (the E10 counterexample)
+//
+// Runs of eventually-constant adversaries can be recorded to a runfile
+// and replayed bit-identically (useful for sharing counterexamples):
+//
+//	skeleton-sim -adversary random -n 12 -seed 9 -record bad.ksr
+//	skeleton-sim -replay bad.ksr -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"kset/internal/adversary"
+	"kset/internal/core"
+	"kset/internal/graph"
+	"kset/internal/rounds"
+	"kset/internal/runfile"
+	"kset/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("skeleton-sim: ")
+	var (
+		advName = flag.String("adversary", "figure1",
+			"figure1|complete|isolation|lowerbound|random|singlesource|churn|partition|eventual|crash|witness")
+		n            = flag.Int("n", 6, "number of processes")
+		k            = flag.Int("k", 2, "k for the lowerbound adversary")
+		roots        = flag.Int("roots", 1, "root components for the random adversary")
+		noise        = flag.Int("noise", 0, "noisy prefix rounds")
+		noiseP       = flag.Float64("noisep", 0.3, "noise edge probability")
+		blocks       = flag.Int("blocks", 2, "partition blocks")
+		prefix       = flag.Int("prefix", 0, "isolation prefix for the eventual adversary")
+		crashes      = flag.Int("crashes", 1, "crash count for the crash adversary")
+		seed         = flag.Int64("seed", 1, "random seed")
+		maxRounds    = flag.Int("rounds", 0, "round bound (0 = automatic)")
+		concurrent   = flag.Bool("concurrent", false, "use the goroutine-per-process executor")
+		meter        = flag.Bool("meter", false, "measure encoded message sizes")
+		conservative = flag.Bool("conservative", false, "use the repaired line-28 guard (r >= 2n-1)")
+		mergeOwn     = flag.Bool("mergeown", false, "merge own previous graph (ablation)")
+		showSkeleton = flag.Bool("skeleton", true, "print the stable skeleton")
+		record       = flag.String("record", "", "write the run to this runfile before executing")
+		replay       = flag.String("replay", "", "load the run from this runfile (overrides -adversary)")
+		traceRun     = flag.Bool("trace", false, "print per-round PT sets and approximation graphs")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var adv rounds.Adversary
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := runfile.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		adv = run
+		*advName = "replay"
+		*n = run.N()
+	}
+	switch *advName {
+	case "replay":
+		// Loaded above.
+	case "figure1":
+		adv = adversary.Figure1()
+		*n = 6
+	case "complete":
+		adv = adversary.Complete(*n)
+	case "isolation":
+		adv = adversary.Isolation(*n)
+	case "lowerbound":
+		adv = adversary.LowerBound(*n, *k)
+	case "random":
+		adv = adversary.RandomSources(*n, *roots, *noise, *noiseP, rng)
+	case "singlesource":
+		adv = adversary.RandomSingleSource(*n, *noise, 0.2, *noiseP, rng)
+	case "churn":
+		adv = adversary.NewChurn(graph.RandomRootedSkeleton(*n, *roots, rng), *noiseP, *seed)
+	case "partition":
+		adv = adversary.Partition(*n, adversary.EvenPartition(*n, *blocks))
+	case "eventual":
+		adv = adversary.Eventual(adversary.Complete(*n), *prefix)
+	case "crash":
+		run, sched := adversary.RandomCrashes(*n, *crashes, 3, rng)
+		adv = run
+		for p, r := range sched.Rounds {
+			if r > 0 {
+				fmt.Printf("schedule: p%d crashes in round %d\n", p+1, r)
+			}
+		}
+	case "witness":
+		adv = adversary.ConsensusViolation()
+		*n = 4
+	default:
+		log.Fatalf("unknown adversary %q", *advName)
+	}
+
+	if *record != "" {
+		run, ok := adv.(*adversary.Run)
+		if !ok {
+			log.Fatalf("-record requires an eventually-constant adversary, not %q", *advName)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runfile.Write(f, run); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded run to %s\n", *record)
+	}
+
+	proposals := sim.SeqProposals(adv.N())
+	if *advName == "witness" {
+		proposals = adversary.ConsensusViolationProposals()
+	}
+
+	var observer rounds.Observer
+	if *traceRun {
+		observer = rounds.ObserverFunc(func(r int, g *graph.Digraph, procs []rounds.Algorithm) {
+			fmt.Printf("--- round %d (graph: %d edges) ---\n", r, g.NumEdges())
+			for i, a := range procs {
+				p, ok := a.(interface {
+					PT() graph.NodeSet
+					Approx() *graph.Labeled
+					Estimate() int64
+					Decided() bool
+				})
+				if !ok {
+					continue
+				}
+				status := " "
+				if p.Decided() {
+					status = "D"
+				}
+				fmt.Printf("  p%-2d %s x=%-4d PT=%v G={%v}\n",
+					i+1, status, p.Estimate(), p.PT(), p.Approx())
+			}
+		})
+	}
+
+	out, err := sim.Execute(sim.Spec{
+		Observer:      observer,
+		Adversary:     adv,
+		Proposals:     proposals,
+		MaxRounds:     *maxRounds,
+		Concurrent:    *concurrent,
+		MeterMessages: *meter,
+		Opts: core.Options{
+			ConservativeDecide: *conservative,
+			MergeOwnGraph:      *mergeOwn,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(out.String())
+	fmt.Printf("skeleton stabilized at round %d; root components: %d; MinK: %d\n",
+		out.RST, out.RootComps, out.MinK)
+	if *showSkeleton {
+		fmt.Println("stable skeleton:")
+		fmt.Print(graph.ASCII(out.Skeleton))
+	}
+	if *meter {
+		fmt.Printf("wire: %d messages, %.1f B avg, %d B max, %d B total\n",
+			out.Meter.Messages, out.Meter.Avg(), out.Meter.MaxBytes, out.Meter.TotalBytes)
+	}
+	if err := out.CheckTermination(); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.CheckValidity(); err != nil {
+		log.Fatal(err)
+	}
+	if got := len(out.DistinctDecisions()); got > out.MinK {
+		fmt.Printf("NOTE: %d distinct decisions exceed MinK=%d — the E10 guard flaw "+
+			"(rerun with -conservative)\n", got, out.MinK)
+	} else {
+		fmt.Printf("k-agreement: %d distinct decision(s) <= MinK=%d\n",
+			len(out.DistinctDecisions()), out.MinK)
+	}
+}

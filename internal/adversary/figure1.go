@@ -1,0 +1,70 @@
+package adversary
+
+import "kset/internal/graph"
+
+// Figure1 returns the 6-process run reconstructed from the paper's
+// Figure 1. Psrcs(3) holds; the stable skeleton (Figure 1b) has the two
+// root components {p1,p2} and {p3,p4,p5} with p6 downstream of p5.
+//
+// The stable edges (all rounds, self-loops everywhere):
+//
+//	p1 -> p2, p2 -> p1            root component {p1, p2}
+//	p3 -> p4, p4 -> p5, p5 -> p3  root component {p3, p4, p5}
+//	p5 -> p6                      p6's only stable source
+//
+// The transient edges, chosen so that p6's approximation graphs
+// G¹p6..G⁶p6 reproduce the label multisets drawn in Figure 1c-1h:
+//
+//	p2 -> p6  rounds 1-2   (p6's second timely source early on)
+//	p5 -> p4  rounds 1-2   (extra in-edge of p4)
+//	p4 -> p3  rounds 1-2   (extra in-edge of p3)
+//	p2 -> p3  round 1      (extra in-edge of p3, one round only)
+//
+// A mechanical execution of Algorithm 1 on this run matches the figure's
+// graphs (c)-(f) edge-for-edge and label-for-label; in (g) and (h) it
+// additionally retains the stale edge (p5 -1-> p4), which the hand-drawn
+// figure omits and which the purge rule (line 24) removes in round 7. See
+// EXPERIMENTS.md §E1.
+func Figure1() *Run {
+	stable := Figure1StableSkeleton()
+
+	r1 := stable.Clone()
+	r1.AddEdge(1, 5) // p2 -> p6
+	r1.AddEdge(4, 3) // p5 -> p4
+	r1.AddEdge(3, 2) // p4 -> p3
+	r1.AddEdge(1, 2) // p2 -> p3
+
+	r2 := stable.Clone()
+	r2.AddEdge(1, 5) // p2 -> p6
+	r2.AddEdge(4, 3) // p5 -> p4
+	r2.AddEdge(3, 2) // p4 -> p3
+
+	return NewRun([]*graph.Digraph{r1, r2}, stable)
+}
+
+// Figure1StableSkeleton returns the paper's Figure 1b graph G^∩∞.
+func Figure1StableSkeleton() *graph.Digraph {
+	g := graph.NewFullDigraph(6)
+	g.AddSelfLoops()
+	g.AddEdge(0, 1) // p1 -> p2
+	g.AddEdge(1, 0) // p2 -> p1
+	g.AddEdge(2, 3) // p3 -> p4
+	g.AddEdge(3, 4) // p4 -> p5
+	g.AddEdge(4, 2) // p5 -> p3
+	g.AddEdge(4, 5) // p5 -> p6
+	return g
+}
+
+// Figure1LabelMultisets returns the multisets of non-self-loop edge
+// labels of p6's approximation graphs G¹p6..G⁶p6 as printed in the
+// paper's Figure 1c-1h, in descending order per round. Index 0 is round 1.
+func Figure1LabelMultisets() [][]int {
+	return [][]int{
+		{1, 1},
+		{2, 2, 1, 1},
+		{3, 2, 1, 1},
+		{4, 3, 2, 2, 1, 1, 1},
+		{5, 4, 3, 2, 2},
+		{6, 5, 4, 3},
+	}
+}

@@ -1,0 +1,43 @@
+package adversary
+
+import (
+	"fmt"
+
+	"kset/internal/graph"
+)
+
+// LowerBound builds the run from the paper's Theorem 2 (impossibility of
+// (k-1)-set agreement in Psrcs(k)): a set L of k-1 processes hears only
+// from themselves, and one process s is heard by every process outside L:
+//
+//	∀p ∈ L:     PT(p) = {p}
+//	∀p ∈ Π\L:   PT(p) = {p, s}
+//
+// Psrcs(k) holds (s is the 2-source of every (k+1)-set: at least two of
+// its members lie outside L), yet with pairwise distinct inputs the k-1
+// processes in L plus s can only ever decide their own values, forcing k
+// distinct decisions. Processes 0..k-2 form L and process k-1 is s.
+func LowerBound(n, k int) *Run {
+	if k < 2 || k >= n {
+		panic(fmt.Sprintf("adversary: LowerBound needs 2 <= k < n, got k=%d n=%d", k, n))
+	}
+	g := graph.NewFullDigraph(n)
+	g.AddSelfLoops()
+	s := k - 1
+	for v := k - 1; v < n; v++ {
+		g.AddEdge(s, v)
+	}
+	return Static(g)
+}
+
+// LowerBoundIsolated returns the members of L for a LowerBound(n, k) run.
+func LowerBoundIsolated(k int) graph.NodeSet {
+	set := graph.NewNodeSet(k)
+	for v := 0; v < k-1; v++ {
+		set.Add(v)
+	}
+	return set
+}
+
+// LowerBoundSource returns the index of the 2-source s in LowerBound(n, k).
+func LowerBoundSource(k int) int { return k - 1 }

@@ -1,0 +1,63 @@
+package adversary
+
+import "kset/internal/graph"
+
+// ConsensusViolation is a deterministic 4-process run satisfying Psrcs(1)
+// on which the published Algorithm 1 (line 28 guard "r >= n") decides TWO
+// distinct values — a counterexample to Lemma 15/Theorem 16 as stated.
+//
+// Construction:
+//
+//	stable skeleton: p4 is a universal 2-source (p4 -> everyone) that
+//	hears only itself; p1, p2, p3 form a complete subgraph and all hear
+//	p4. Then p4 ∈ PT(q) for every q, so every pair of processes shares
+//	the source p4 and Psrcs(1) holds perpetually (MinK = 1): consensus
+//	is required.
+//
+//	noise: one extra edge p1 -> p4 in round 1 only (r_ST = 2).
+//
+// Use it with the proposals ConsensusViolationProposals:
+//
+//	v = (5, 1, 2, 4)
+//
+// What happens under the published guard:
+//
+//   - p4 hears v1 = 5 in round 1, then only itself: its estimate freezes
+//     at min(4, 5) = 4. From round 2 its approximation is the singleton
+//     {p4}, strongly connected, so at round n = 4 it decides 4.
+//
+//   - The stale edge (p1 -1-> p4) recorded by p4 in round 1 is broadcast
+//     to everyone in round 2 and then circulates in the complete subgraph
+//     {p1, p2, p3}; the purge removes it only in round 5. At round 4 the
+//     approximations of p1, p2, p3 therefore contain the fresh edges
+//     p4 -> pi AND the stale edge p1 -> p4: strongly connected. All three
+//     decide min(5, 1, 2, 4) = 1 in round 4.
+//
+//   - Result: decisions {1, 1, 1, 4} — two values under Psrcs(1).
+//
+// The flaw: Lemma 7 only places these round-4 graphs inside the ROUND-1
+// components (which the noise round inflates), while Lemma 15's proof
+// needs round-n components to apply Lemma 14. With the repaired guard
+// r >= 2n-1 (core.Options.ConservativeDecide) the stale edge is long
+// purged before anyone may decide: p1, p2, p3 never become strongly
+// connected, p4 decides 4 at round 2n-1 = 7, and everyone adopts 4 via
+// decide messages — consensus, as Theorem 16 intends.
+func ConsensusViolation() *Run {
+	stable := graph.NewFullDigraph(4)
+	stable.AddSelfLoops()
+	for v := 0; v < 4; v++ {
+		stable.AddEdge(3, v) // p4 -> everyone
+	}
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			stable.AddEdge(u, v) // complete among p1, p2, p3
+		}
+	}
+	r1 := stable.Clone()
+	r1.AddEdge(0, 3) // the single noise edge p1 -> p4, round 1 only
+	return NewRun([]*graph.Digraph{r1}, stable)
+}
+
+// ConsensusViolationProposals returns the proposal vector (5, 1, 2, 4)
+// used by the ConsensusViolation counterexample.
+func ConsensusViolationProposals() []int64 { return []int64{5, 1, 2, 4} }

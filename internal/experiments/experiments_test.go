@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The quick configuration keeps the full suite affordable in go test;
+// cmd/ksetbench runs DefaultConfig for EXPERIMENTS.md.
+
+func TestE1Figure1(t *testing.T) {
+	res, err := E1Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("E1 violations: %d\n%s", res.Violations, res.Table.Render())
+	}
+	if res.Table.NumRows() != 8 {
+		t.Fatalf("E1 rows = %d", res.Table.NumRows())
+	}
+	rendered := res.Table.Render()
+	for _, want := range []string{"[1 1]", "[2 2 1 1]", "[3 2 1 1]", "exact"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("E1 table missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestE2RootComponents(t *testing.T) {
+	res, err := E2RootComponents(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("Theorem 1 violated:\n%s", res.Table.Render())
+	}
+}
+
+func TestE3LowerBound(t *testing.T) {
+	res, err := E3LowerBound(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("Theorem 2 tightness violated:\n%s", res.Table.Render())
+	}
+	if !strings.Contains(res.Table.Render(), "violated (expected)") {
+		t.Fatal("E3 should show (k-1)-agreement failing")
+	}
+}
+
+func TestE4DecisionRounds(t *testing.T) {
+	res, err := E4DecisionRounds(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("Lemma 11 bound violated:\n%s", res.Table.Render())
+	}
+}
+
+func TestE5MessageComplexity(t *testing.T) {
+	res, err := E5MessageComplexity(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("message growth unexpected:\n%s", res.Table.Render())
+	}
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "n^") {
+		t.Fatalf("E5 notes missing exponent: %v", res.Notes)
+	}
+}
+
+func TestE6Baselines(t *testing.T) {
+	res, err := E6Baselines(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("baseline comparison unexpected:\n%s", res.Table.Render())
+	}
+	rendered := res.Table.Render()
+	if !strings.Contains(rendered, "VIOLATES") {
+		t.Fatalf("E6 should show FloodMin violating on the loss run:\n%s", rendered)
+	}
+}
+
+func TestE7Consensus(t *testing.T) {
+	res, err := E7Consensus(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("consensus claim violated:\n%s", res.Table.Render())
+	}
+}
+
+func TestE8Eventual(t *testing.T) {
+	res, err := E8Eventual(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("eventual argument mismatch:\n%s", res.Table.Render())
+	}
+}
+
+func TestE9Ablations(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Trials = 8
+	res, err := E9Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("ablation broke correctness:\n%s", res.Table.Render())
+	}
+	if res.Table.NumRows() != 4 {
+		t.Fatalf("E9 rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Trials = 5
+	results, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("suite size = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Violations != 0 {
+			t.Errorf("%s: %d violations", r.Name, r.Violations)
+		}
+		if r.Table == nil || r.Table.NumRows() == 0 {
+			t.Errorf("%s: empty table", r.Name)
+		}
+	}
+}
+
+func TestE10GuardFlaw(t *testing.T) {
+	res, err := E10GuardFlaw(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("E10 unexpected:\n%s", res.Table.Render())
+	}
+	rendered := res.Table.Render()
+	if !strings.Contains(rendered, "VIOLATES") {
+		t.Fatalf("E10 must show the published guard violating:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "repaired r>=2n-1") {
+		t.Fatalf("E10 must include the repaired guard:\n%s", rendered)
+	}
+}
+
+func TestE11Convergence(t *testing.T) {
+	res, err := E11Convergence(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("convergence lag exceeded 2n:\n%s", res.Table.Render())
+	}
+	if res.Table.NumRows() != 6 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestE12Mobile(t *testing.T) {
+	res, err := E12Mobile(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("mobile regime unexpected:\n%s", res.Table.Render())
+	}
+	if res.Table.NumRows() != 9 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"kset/internal/baseline"
+	"kset/internal/rounds"
+	"kset/internal/stats"
+	"kset/internal/trace"
+)
+
+// newRng returns a deterministic source for an experiment.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// runBaselineFloodMin executes FloodMin under the given adversary with
+// the given proposals and returns the trace outcome.
+func runBaselineFloodMin(adv rounds.Adversary, proposals []int64, f, k int) (*trace.Outcome, error) {
+	res, err := rounds.RunSequential(rounds.Config{
+		Adversary:  adv,
+		NewProcess: baseline.NewFloodMinFactory(proposals, f, k),
+		MaxRounds:  f + k + 5,
+		StopWhen:   rounds.AllDecided,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(res)
+}
+
+// powerLaw fits y = c·x^e and returns the growth exponent e.
+func powerLaw(xs, ys []float64) float64 {
+	return stats.PowerLawExponent(xs, ys)
+}

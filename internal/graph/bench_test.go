@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int, p float64) *Digraph {
+	return RandomDigraph(n, p, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkSCCSparse(b *testing.B) {
+	g := benchGraph(128, 0.02)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SCC(g)
+	}
+}
+
+func BenchmarkSCCDense(b *testing.B) {
+	g := benchGraph(128, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SCC(g)
+	}
+}
+
+func BenchmarkKosaraju(b *testing.B) {
+	g := benchGraph(128, 0.1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SCCKosaraju(g)
+	}
+}
+
+func BenchmarkIntersectWith(b *testing.B) {
+	a := benchGraph(128, 0.2)
+	c := benchGraph(128, 0.2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := a.Clone()
+		x.IntersectWith(c)
+	}
+}
+
+func BenchmarkRootComponents(b *testing.B) {
+	g := RandomRootedSkeleton(96, 5, rand.New(rand.NewSource(2)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RootComponents(g)
+	}
+}
+
+func BenchmarkLabeledMergeRound(b *testing.B) {
+	// Simulates one round of approximation merging: reset + fresh edges
+	// + merge of 8 received graphs.
+	n := 64
+	rng := rand.New(rand.NewSource(3))
+	received := make([]*Labeled, 8)
+	for i := range received {
+		received[i] = NewLabeled(n)
+		for j := 0; j < 3*n; j++ {
+			received[i].MergeEdge(rng.Intn(n), rng.Intn(n), 1+rng.Intn(50))
+		}
+	}
+	g := NewLabeled(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		g.AddNode(0)
+		for q := 0; q < 8; q++ {
+			g.MergeEdge(q, 0, 51)
+			received[q].ForEachEdge(func(u, v, l int) { g.MergeEdge(u, v, l) })
+		}
+		g.PurgeOlderThan(1)
+		g.PruneUnreachableTo(0)
+	}
+}
+
+func BenchmarkReachable(b *testing.B) {
+	g := benchGraph(256, 0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Reachable(g, 0)
+	}
+}
+
+func BenchmarkNodeSetOps(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := NewNodeSet(512)
+	y := NewNodeSet(512)
+	for i := 0; i < 200; i++ {
+		x.Add(rng.Intn(512))
+		y.Add(rng.Intn(512))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := x.Clone()
+		z.IntersectWith(y)
+		z.UnionWith(x)
+		_ = z.Len()
+	}
+}

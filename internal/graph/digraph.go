@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a directed edge from From to To.
+type Edge struct {
+	From, To int
+}
+
+func (e Edge) String() string { return fmt.Sprintf("p%d->p%d", e.From+1, e.To+1) }
+
+// Digraph is a directed graph over a node universe 0..n-1 with an explicit
+// present-node set (the paper distinguishes V from Π: approximation graphs
+// contain only the processes a node has heard about). Both out- and
+// in-adjacency are maintained so that timely neighborhoods (in-neighbor
+// queries) are O(1).
+type Digraph struct {
+	n       int
+	present NodeSet
+	out     []NodeSet
+	in      []NodeSet
+}
+
+// NewDigraph returns an empty graph over the universe 0..n-1 with no nodes
+// present.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative universe size %d", n))
+	}
+	g := &Digraph{
+		n:       n,
+		present: NewNodeSet(n),
+		out:     make([]NodeSet, n),
+		in:      make([]NodeSet, n),
+	}
+	for i := 0; i < n; i++ {
+		g.out[i] = NewNodeSet(n)
+		g.in[i] = NewNodeSet(n)
+	}
+	return g
+}
+
+// NewFullDigraph returns a graph over 0..n-1 with all nodes present and no
+// edges.
+func NewFullDigraph(n int) *Digraph {
+	g := NewDigraph(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(i)
+	}
+	return g
+}
+
+// CompleteDigraph returns the complete graph on n nodes including all
+// self-loops: every process hears from every process.
+func CompleteDigraph(n int) *Digraph {
+	g := NewFullDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// N returns the size of the node universe.
+func (g *Digraph) N() int { return g.n }
+
+// Nodes returns the set of present nodes (a copy).
+func (g *Digraph) Nodes() NodeSet { return g.present.Clone() }
+
+// NumNodes returns the number of present nodes.
+func (g *Digraph) NumNodes() int { return g.present.Len() }
+
+// HasNode reports whether v is present.
+func (g *Digraph) HasNode(v int) bool { return g.present.Has(v) }
+
+// AddNode marks v present.
+func (g *Digraph) AddNode(v int) {
+	g.check(v)
+	g.present.Add(v)
+}
+
+// RemoveNode removes v and all its incident edges.
+func (g *Digraph) RemoveNode(v int) {
+	g.check(v)
+	if !g.present.Has(v) {
+		return
+	}
+	g.out[v].ForEach(func(w int) { g.in[w].Remove(v) })
+	g.in[v].ForEach(func(u int) { g.out[u].Remove(v) })
+	g.out[v].Clear()
+	g.in[v].Clear()
+	g.present.Remove(v)
+}
+
+// AddEdge inserts the edge u->v, adding both endpoints if absent.
+func (g *Digraph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.present.Add(u)
+	g.present.Add(v)
+	g.out[u].Add(v)
+	g.in[v].Add(u)
+}
+
+// RemoveEdge deletes the edge u->v if present; endpoints stay.
+func (g *Digraph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.out[u].Remove(v)
+	g.in[v].Remove(u)
+}
+
+// HasEdge reports whether the edge u->v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	return g.out[u].Has(v)
+}
+
+// OutNeighbors returns a copy of the out-neighborhood of v.
+func (g *Digraph) OutNeighbors(v int) NodeSet {
+	g.check(v)
+	return g.out[v].Clone()
+}
+
+// InNeighbors returns a copy of the in-neighborhood of v. For a round graph
+// G^r this is exactly the set of processes v hears from in round r.
+func (g *Digraph) InNeighbors(v int) NodeSet {
+	g.check(v)
+	return g.in[v].Clone()
+}
+
+// ForEachOut calls fn for every out-neighbor of v in ascending order.
+func (g *Digraph) ForEachOut(v int, fn func(w int)) {
+	g.check(v)
+	g.out[v].ForEach(fn)
+}
+
+// ForEachIn calls fn for every in-neighbor of v in ascending order.
+func (g *Digraph) ForEachIn(v int, fn func(u int)) {
+	g.check(v)
+	g.in[v].ForEach(fn)
+}
+
+// OutDegree returns the number of out-neighbors of v.
+func (g *Digraph) OutDegree(v int) int {
+	g.check(v)
+	return g.out[v].Len()
+}
+
+// InDegree returns the number of in-neighbors of v.
+func (g *Digraph) InDegree(v int) int {
+	g.check(v)
+	return g.in[v].Len()
+}
+
+// NumEdges returns the total number of edges, self-loops included.
+func (g *Digraph) NumEdges() int {
+	n := 0
+	g.present.ForEach(func(v int) { n += g.out[v].Len() })
+	return n
+}
+
+// Edges returns every edge in deterministic (from, to) order.
+func (g *Digraph) Edges() []Edge {
+	edges := make([]Edge, 0, g.NumEdges())
+	g.present.ForEach(func(u int) {
+		g.out[u].ForEach(func(v int) {
+			edges = append(edges, Edge{u, v})
+		})
+	})
+	return edges
+}
+
+// AddSelfLoops adds v->v for every present node. Round graphs in this
+// reproduction always contain all self-loops (every process hears itself;
+// cf. the caption of the paper's Figure 1).
+func (g *Digraph) AddSelfLoops() {
+	g.present.ForEach(func(v int) { g.AddEdge(v, v) })
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{
+		n:       g.n,
+		present: g.present.Clone(),
+		out:     make([]NodeSet, g.n),
+		in:      make([]NodeSet, g.n),
+	}
+	for i := 0; i < g.n; i++ {
+		c.out[i] = g.out[i].Clone()
+		c.in[i] = g.in[i].Clone()
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical present-node and edge sets.
+func (g *Digraph) Equal(h *Digraph) bool {
+	if g.n != h.n || !g.present.Equal(h.present) {
+		return false
+	}
+	for i := 0; i < g.n; i++ {
+		if !g.out[i].Equal(h.out[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the graph ⟨V ∩ V', E ∩ E'⟩ as in the paper's definition
+// of skeleton intersection (footnote 3).
+func (g *Digraph) Intersect(h *Digraph) *Digraph {
+	if g.n != h.n {
+		panic(fmt.Sprintf("graph: intersect over different universes %d and %d", g.n, h.n))
+	}
+	r := NewDigraph(g.n)
+	r.present = g.present.Intersect(h.present)
+	r.present.ForEach(func(u int) {
+		common := g.out[u].Intersect(h.out[u])
+		common.IntersectWith(r.present)
+		common.ForEach(func(v int) { r.AddEdge(u, v) })
+	})
+	return r
+}
+
+// IntersectWith replaces g by g ∩ h in place and reports whether g changed.
+// This is the hot operation of skeleton maintenance (E^∩r = ⋂ E^r').
+func (g *Digraph) IntersectWith(h *Digraph) bool {
+	if g.n != h.n {
+		panic(fmt.Sprintf("graph: intersect over different universes %d and %d", g.n, h.n))
+	}
+	changed := false
+	if !g.present.SubsetOf(h.present) {
+		removed := g.present.Subtract(h.present)
+		removed.ForEach(func(v int) { g.RemoveNode(v) })
+		changed = true
+	}
+	g.present.ForEach(func(u int) {
+		extra := g.out[u].Subtract(h.out[u])
+		extra.ForEach(func(v int) {
+			g.RemoveEdge(u, v)
+			changed = true
+		})
+	})
+	return changed
+}
+
+// Union returns the graph ⟨V ∪ V', E ∪ E'⟩.
+func (g *Digraph) Union(h *Digraph) *Digraph {
+	if g.n != h.n {
+		panic(fmt.Sprintf("graph: union over different universes %d and %d", g.n, h.n))
+	}
+	r := g.Clone()
+	h.present.ForEach(func(v int) { r.AddNode(v) })
+	h.present.ForEach(func(u int) {
+		h.out[u].ForEach(func(v int) { r.AddEdge(u, v) })
+	})
+	return r
+}
+
+// InducedSubgraph returns the subgraph induced by keep ∩ present nodes.
+func (g *Digraph) InducedSubgraph(keep NodeSet) *Digraph {
+	r := NewDigraph(g.n)
+	kept := g.present.Intersect(keep)
+	kept.ForEach(func(v int) { r.AddNode(v) })
+	kept.ForEach(func(u int) {
+		g.out[u].ForEach(func(v int) {
+			if kept.Has(v) {
+				r.AddEdge(u, v)
+			}
+		})
+	})
+	return r
+}
+
+// Transpose returns the graph with every edge reversed.
+func (g *Digraph) Transpose() *Digraph {
+	r := NewDigraph(g.n)
+	g.present.ForEach(func(v int) { r.AddNode(v) })
+	g.present.ForEach(func(u int) {
+		g.out[u].ForEach(func(v int) { r.AddEdge(v, u) })
+	})
+	return r
+}
+
+// SubgraphOf reports whether g ⊆ h (node- and edge-wise).
+func (g *Digraph) SubgraphOf(h *Digraph) bool {
+	if g.n != h.n || !g.present.SubsetOf(h.present) {
+		return false
+	}
+	ok := true
+	g.present.ForEach(func(u int) {
+		if !g.out[u].SubsetOf(h.out[u]) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// String renders the graph as a deterministic adjacency list, e.g.
+// "p1->{p2}; p2->{p1,p3}".
+func (g *Digraph) String() string {
+	var parts []string
+	g.present.ForEach(func(u int) {
+		targets := make([]string, 0, g.out[u].Len())
+		g.out[u].ForEach(func(v int) { targets = append(targets, fmt.Sprintf("p%d", v+1)) })
+		sort.Strings(targets)
+		parts = append(parts, fmt.Sprintf("p%d->{%s}", u+1, strings.Join(targets, ",")))
+	})
+	return strings.Join(parts, "; ")
+}
+
+func (g *Digraph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of universe [0,%d)", v, g.n))
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders g in Graphviz dot syntax. Self-loops are included unless
+// omitSelfLoops is set (the paper's figures omit them). Output is
+// deterministic.
+func DOT(g *Digraph, name string, omitSelfLoops bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	g.Nodes().ForEach(func(v int) {
+		fmt.Fprintf(&b, "  p%d;\n", v+1)
+	})
+	for _, e := range g.Edges() {
+		if omitSelfLoops && e.From == e.To {
+			continue
+		}
+		fmt.Fprintf(&b, "  p%d -> p%d;\n", e.From+1, e.To+1)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOTLabeled renders a labeled graph in dot syntax with round labels on
+// the edges, matching the presentation of the paper's Figure 1c-1h.
+func DOTLabeled(g *Labeled, name string, omitSelfLoops bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	g.Nodes().ForEach(func(v int) {
+		fmt.Fprintf(&b, "  p%d;\n", v+1)
+	})
+	g.ForEachEdge(func(u, v, l int) {
+		if omitSelfLoops && u == v {
+			return
+		}
+		fmt.Fprintf(&b, "  p%d -> p%d [label=%d];\n", u+1, v+1, l)
+	})
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders a fixed-width adjacency matrix of g: rows are sources,
+// columns destinations, '1' marks an edge. Useful for terminal output of
+// small graphs.
+func ASCII(g *Digraph) string {
+	n := g.N()
+	var b strings.Builder
+	b.WriteString("     ")
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(&b, "p%-3d", v+1)
+	}
+	b.WriteByte('\n')
+	for u := 0; u < n; u++ {
+		fmt.Fprintf(&b, "p%-3d ", u+1)
+		for v := 0; v < n; v++ {
+			switch {
+			case !g.HasNode(u) || !g.HasNode(v):
+				b.WriteString(".   ")
+			case g.HasEdge(u, v):
+				b.WriteString("1   ")
+			default:
+				b.WriteString("0   ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTBasic(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 1)
+	g.AddNode(2)
+	out := DOT(g, "test", false)
+	for _, want := range []string{"digraph \"test\"", "p1 -> p2;", "p2 -> p2;", "p3;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTOmitSelfLoops(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	out := DOT(g, "x", true)
+	if strings.Contains(out, "p1 -> p1") {
+		t.Fatal("self-loop not omitted")
+	}
+	if !strings.Contains(out, "p1 -> p2") {
+		t.Fatal("real edge omitted")
+	}
+}
+
+func TestDOTLabeled(t *testing.T) {
+	g := NewLabeled(3)
+	g.MergeEdge(0, 1, 4)
+	g.MergeEdge(1, 1, 2)
+	out := DOTLabeled(g, "approx", true)
+	if !strings.Contains(out, "p1 -> p2 [label=4];") {
+		t.Fatalf("labeled edge missing:\n%s", out)
+	}
+	if strings.Contains(out, "p2 -> p2") {
+		t.Fatal("self-loop not omitted")
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(0, 2)
+	if DOT(g, "d", false) != DOT(g, "d", false) {
+		t.Fatal("DOT not deterministic")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddEdge(0, 1)
+	out := ASCII(g)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ASCII lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "1") {
+		t.Fatalf("edge not rendered:\n%s", out)
+	}
+}
+
+func TestASCIIAbsentNodes(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddNode(0)
+	out := ASCII(g)
+	if !strings.Contains(out, ".") {
+		t.Fatalf("absent node should render '.':\n%s", out)
+	}
+}

@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LabeledEdge is a directed edge carrying the round label of the paper's
+// approximation graphs: (From --Label--> To) means "To heard From in round
+// Label, and no fresher evidence is known".
+type LabeledEdge struct {
+	From, To, Label int
+}
+
+func (e LabeledEdge) String() string {
+	return fmt.Sprintf("p%d-%d->p%d", e.From+1, e.Label, e.To+1)
+}
+
+// Labeled is a round-labeled digraph over the universe 0..n-1: the
+// weighted approximation graph G_p of Algorithm 1. Invariant (paper
+// Lemma 3(c) / Lemma 4(b)): at most one label per ordered node pair, and
+// merging keeps the maximum label ever seen. Labels are >= 1; 0 means "no
+// edge". The representation is a dense matrix because graphs are rebuilt
+// for every process in every round and n is small.
+type Labeled struct {
+	n       int
+	present NodeSet
+	labels  []int // n*n row-major; labels[u*n+v] = label of u->v, 0 if absent
+}
+
+// NewLabeled returns an empty labeled graph over the universe 0..n-1.
+func NewLabeled(n int) *Labeled {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative universe size %d", n))
+	}
+	return &Labeled{
+		n:       n,
+		present: NewNodeSet(n),
+		labels:  make([]int, n*n),
+	}
+}
+
+// N returns the universe size.
+func (g *Labeled) N() int { return g.n }
+
+// Reset empties the graph in place, retaining allocated storage; used by
+// the per-round rebuild (Algorithm 1 line 15).
+func (g *Labeled) Reset() {
+	g.present.Clear()
+	for i := range g.labels {
+		g.labels[i] = 0
+	}
+}
+
+// AddNode marks v present.
+func (g *Labeled) AddNode(v int) {
+	g.check(v)
+	g.present.Add(v)
+}
+
+// HasNode reports whether v is present.
+func (g *Labeled) HasNode(v int) bool { return g.present.Has(v) }
+
+// Nodes returns a copy of the present-node set.
+func (g *Labeled) Nodes() NodeSet { return g.present.Clone() }
+
+// NumNodes returns the number of present nodes.
+func (g *Labeled) NumNodes() int { return g.present.Len() }
+
+// RemoveNode removes v and all incident edges.
+func (g *Labeled) RemoveNode(v int) {
+	g.check(v)
+	if !g.present.Has(v) {
+		return
+	}
+	for w := 0; w < g.n; w++ {
+		g.labels[v*g.n+w] = 0
+		g.labels[w*g.n+v] = 0
+	}
+	g.present.Remove(v)
+}
+
+// MergeEdge merges the edge u --label--> v keeping the maximum label for
+// the pair (the paper's lines 19-23 collapsed: R_{i,j} max-merge). Both
+// endpoints become present. It reports whether the stored label changed.
+func (g *Labeled) MergeEdge(u, v, label int) bool {
+	g.check(u)
+	g.check(v)
+	if label <= 0 {
+		panic(fmt.Sprintf("graph: non-positive label %d", label))
+	}
+	g.present.Add(u)
+	g.present.Add(v)
+	if label > g.labels[u*g.n+v] {
+		g.labels[u*g.n+v] = label
+		return true
+	}
+	return false
+}
+
+// Label returns the label of u->v, or 0 if the edge is absent.
+func (g *Labeled) Label(u, v int) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0
+	}
+	return g.labels[u*g.n+v]
+}
+
+// HasEdge reports whether the edge u->v is present.
+func (g *Labeled) HasEdge(u, v int) bool { return g.Label(u, v) != 0 }
+
+// NumEdges returns the number of labeled edges (self-loops included).
+func (g *Labeled) NumEdges() int {
+	c := 0
+	for _, l := range g.labels {
+		if l != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Edges returns all labeled edges in deterministic (from, to) order.
+func (g *Labeled) Edges() []LabeledEdge {
+	out := make([]LabeledEdge, 0, 16)
+	for u := 0; u < g.n; u++ {
+		row := g.labels[u*g.n : (u+1)*g.n]
+		for v, l := range row {
+			if l != 0 {
+				out = append(out, LabeledEdge{From: u, To: v, Label: l})
+			}
+		}
+	}
+	return out
+}
+
+// ForEachEdge calls fn for every labeled edge in (from, to) order.
+func (g *Labeled) ForEachEdge(fn func(u, v, label int)) {
+	for u := 0; u < g.n; u++ {
+		row := g.labels[u*g.n : (u+1)*g.n]
+		for v, l := range row {
+			if l != 0 {
+				fn(u, v, l)
+			}
+		}
+	}
+}
+
+// PurgeOlderThan removes every edge with label <= threshold: Algorithm 1
+// line 24 with threshold = r - n. It returns the number of edges removed.
+func (g *Labeled) PurgeOlderThan(threshold int) int {
+	removed := 0
+	for i, l := range g.labels {
+		if l != 0 && l <= threshold {
+			g.labels[i] = 0
+			removed++
+		}
+	}
+	return removed
+}
+
+// Unlabeled returns the plain digraph with the same present nodes and
+// edges (labels dropped): the paper's "unweighted version of G_p" used for
+// the subgraph relations in Section IV-A.
+func (g *Labeled) Unlabeled() *Digraph {
+	d := NewDigraph(g.n)
+	g.present.ForEach(func(v int) { d.AddNode(v) })
+	g.ForEachEdge(func(u, v, _ int) { d.AddEdge(u, v) })
+	return d
+}
+
+// PruneUnreachableTo removes every node (and incident edges) from which p
+// is unreachable: Algorithm 1 line 25. p itself is always kept. It returns
+// the number of nodes removed.
+func (g *Labeled) PruneUnreachableTo(p int) int {
+	g.check(p)
+	if !g.present.Has(p) {
+		g.present.Add(p)
+	}
+	keep := NodesReaching(g.Unlabeled(), p)
+	removed := 0
+	g.present.Clone().ForEach(func(v int) {
+		if v != p && !keep.Has(v) {
+			g.RemoveNode(v)
+			removed++
+		}
+	})
+	return removed
+}
+
+// StronglyConnected reports whether the present nodes form one strongly
+// connected component: the decision test of Algorithm 1 line 28. A single
+// present node is strongly connected.
+func (g *Labeled) StronglyConnected() bool {
+	return StronglyConnected(g.Unlabeled())
+}
+
+// Clone returns a deep copy.
+func (g *Labeled) Clone() *Labeled {
+	c := &Labeled{
+		n:       g.n,
+		present: g.present.Clone(),
+		labels:  make([]int, len(g.labels)),
+	}
+	copy(c.labels, g.labels)
+	return c
+}
+
+// CopyFrom overwrites g with the contents of src (same universe required).
+func (g *Labeled) CopyFrom(src *Labeled) {
+	if g.n != src.n {
+		panic(fmt.Sprintf("graph: CopyFrom universe mismatch %d vs %d", g.n, src.n))
+	}
+	g.present = src.present.Clone()
+	copy(g.labels, src.labels)
+}
+
+// Equal reports whether g and h have the same nodes, edges, and labels.
+func (g *Labeled) Equal(h *Labeled) bool {
+	if g.n != h.n || !g.present.Equal(h.present) {
+		return false
+	}
+	for i := range g.labels {
+		if g.labels[i] != h.labels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LabelMultiset returns the sorted (descending) multiset of labels of
+// non-self-loop edges. The paper's Figure 1 is drawn without self-loops,
+// so this is the quantity compared in experiment E1.
+func (g *Labeled) LabelMultiset() []int {
+	var out []int
+	g.ForEachEdge(func(u, v, l int) {
+		if u != v {
+			out = append(out, l)
+		}
+	})
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// String renders the labeled edges (self-loops included) deterministically,
+// e.g. "p5-3->p6, p4-2->p5".
+func (g *Labeled) String() string {
+	var parts []string
+	g.ForEachEdge(func(u, v, l int) {
+		parts = append(parts, LabeledEdge{u, v, l}.String())
+	})
+	if len(parts) == 0 {
+		return fmt.Sprintf("(nodes %s, no edges)", g.present.String())
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (g *Labeled) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of universe [0,%d)", v, g.n))
+	}
+}

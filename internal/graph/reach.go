@@ -1,0 +1,179 @@
+package graph
+
+// Reachable returns the set of present nodes reachable from v by a
+// directed path of length >= 0 (v itself included). It panics if v is not
+// present.
+func Reachable(g *Digraph, v int) NodeSet {
+	if !g.HasNode(v) {
+		panic("graph: Reachable from absent node")
+	}
+	seen := NewNodeSet(g.N())
+	seen.Add(v)
+	stack := []int{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.out[u].ForEach(func(w int) {
+			if !seen.Has(w) {
+				seen.Add(w)
+				stack = append(stack, w)
+			}
+		})
+	}
+	return seen
+}
+
+// NodesReaching returns the set of present nodes that can reach v by a
+// directed path of length >= 0 (v itself included). Algorithm 1 line 25
+// keeps exactly these nodes in the approximation graph.
+func NodesReaching(g *Digraph, v int) NodeSet {
+	if !g.HasNode(v) {
+		panic("graph: NodesReaching on absent node")
+	}
+	seen := NewNodeSet(g.N())
+	seen.Add(v)
+	stack := []int{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.in[u].ForEach(func(w int) {
+			if !seen.Has(w) {
+				seen.Add(w)
+				stack = append(stack, w)
+			}
+		})
+	}
+	return seen
+}
+
+// CanReach reports whether there is a directed path from u to v.
+func CanReach(g *Digraph, u, v int) bool {
+	if !g.HasNode(u) || !g.HasNode(v) {
+		return false
+	}
+	return Reachable(g, u).Has(v)
+}
+
+// Distances returns the BFS distance (number of edges on a shortest path)
+// from src to every node; unreachable nodes get -1. Self-loops do not
+// shorten anything: dist[src] is 0.
+func Distances(g *Digraph, src int) []int {
+	if !g.HasNode(src) {
+		panic("graph: Distances from absent node")
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.out[u].ForEach(func(w int) {
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		})
+	}
+	return dist
+}
+
+// DistancesTo returns the BFS distance from every node to dst (following
+// edges forward); unreachable nodes get -1.
+func DistancesTo(g *Digraph, dst int) []int {
+	if !g.HasNode(dst) {
+		panic("graph: DistancesTo on absent node")
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.in[u].ForEach(func(w int) {
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		})
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest directed path from u to v as a node
+// sequence (u first, v last), or nil if v is unreachable from u. The paper
+// repeatedly uses the fact that simple paths have length at most n-1.
+func ShortestPath(g *Digraph, u, v int) []int {
+	if !g.HasNode(u) || !g.HasNode(v) {
+		return nil
+	}
+	prev := make([]int, g.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	if u == v {
+		return []int{u}
+	}
+	seen := NewNodeSet(g.N())
+	seen.Add(u)
+	queue := []int{u}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		found := false
+		g.out[cur].ForEach(func(w int) {
+			if found || seen.Has(w) {
+				return
+			}
+			seen.Add(w)
+			prev[w] = cur
+			if w == v {
+				found = true
+				return
+			}
+			queue = append(queue, w)
+		})
+		if found {
+			break
+		}
+	}
+	if prev[v] == -1 {
+		return nil
+	}
+	var rev []int
+	for cur := v; cur != -1; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == u {
+			break
+		}
+	}
+	path := make([]int, len(rev))
+	for i, x := range rev {
+		path[len(rev)-1-i] = x
+	}
+	return path
+}
+
+// IsPath reports whether nodes forms a directed path of distinct nodes in
+// g (the paper's convention: all nodes on a path are distinct).
+func IsPath(g *Digraph, nodes []int) bool {
+	if len(nodes) == 0 {
+		return false
+	}
+	seen := NewNodeSet(g.N())
+	for i, v := range nodes {
+		if !g.HasNode(v) || seen.Has(v) {
+			return false
+		}
+		seen.Add(v)
+		if i > 0 && !g.HasEdge(nodes[i-1], v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func chainGraph(n int) *Digraph {
+	g := NewDigraph(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestReachable(t *testing.T) {
+	g := chainGraph(4)
+	if got := Reachable(g, 1); !got.Equal(NodeSetOf(1, 2, 3)) {
+		t.Fatalf("Reachable(1) = %v", got)
+	}
+	if got := Reachable(g, 3); !got.Equal(NodeSetOf(3)) {
+		t.Fatalf("Reachable(3) = %v", got)
+	}
+}
+
+func TestNodesReaching(t *testing.T) {
+	g := chainGraph(4)
+	if got := NodesReaching(g, 2); !got.Equal(NodeSetOf(0, 1, 2)) {
+		t.Fatalf("NodesReaching(2) = %v", got)
+	}
+	if got := NodesReaching(g, 0); !got.Equal(NodeSetOf(0)) {
+		t.Fatalf("NodesReaching(0) = %v", got)
+	}
+}
+
+func TestReachableMirrorsNodesReachingOnTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 150; trial++ {
+		g := RandomDigraph(9, 0.25, rng)
+		tr := g.Transpose()
+		for v := 0; v < 9; v++ {
+			if !Reachable(g, v).Equal(NodesReaching(tr, v)) {
+				t.Fatalf("mismatch at %d in %v", v, g)
+			}
+		}
+	}
+}
+
+func TestCanReach(t *testing.T) {
+	g := chainGraph(3)
+	if !CanReach(g, 0, 2) || CanReach(g, 2, 0) {
+		t.Fatal("CanReach wrong")
+	}
+	if !CanReach(g, 1, 1) {
+		t.Fatal("every node reaches itself")
+	}
+	if CanReach(g, 0, 5) {
+		t.Fatal("absent node reached")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	g := chainGraph(4)
+	g.AddEdge(0, 2) // shortcut
+	d := Distances(g, 0)
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Distances = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestDistancesUnreachable(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddNode(0)
+	g.AddNode(1)
+	g.AddNode(2)
+	g.AddEdge(0, 1)
+	d := Distances(g, 0)
+	if d[2] != -1 {
+		t.Fatalf("unreachable distance = %d, want -1", d[2])
+	}
+}
+
+func TestDistancesToMatchesForwardOnTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		g := RandomDigraph(8, 0.3, rng)
+		tr := g.Transpose()
+		for v := 0; v < 8; v++ {
+			a := DistancesTo(g, v)
+			b := Distances(tr, v)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("DistancesTo mismatch at %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestSelfLoopDoesNotChangeDistance(t *testing.T) {
+	g := chainGraph(3)
+	g.AddSelfLoops()
+	d := Distances(g, 0)
+	if d[0] != 0 || d[1] != 1 || d[2] != 2 {
+		t.Fatalf("Distances = %v", d)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := chainGraph(5)
+	g.AddEdge(0, 3)
+	path := ShortestPath(g, 0, 4)
+	want := []int{0, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if !IsPath(g, path) {
+		t.Fatal("returned path is not a valid path")
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := chainGraph(2)
+	p := ShortestPath(g, 1, 1)
+	if len(p) != 1 || p[0] != 1 {
+		t.Fatalf("path = %v, want [1]", p)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := chainGraph(3)
+	if p := ShortestPath(g, 2, 0); p != nil {
+		t.Fatalf("path = %v, want nil", p)
+	}
+}
+
+func TestShortestPathLengthMatchesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		g := RandomDigraph(9, 0.25, rng)
+		for u := 0; u < 9; u++ {
+			d := Distances(g, u)
+			for v := 0; v < 9; v++ {
+				p := ShortestPath(g, u, v)
+				if d[v] == -1 {
+					if p != nil {
+						t.Fatalf("path to unreachable node: %v", p)
+					}
+					continue
+				}
+				if len(p)-1 != d[v] {
+					t.Fatalf("path len %d, distance %d (u=%d v=%d)", len(p)-1, d[v], u, v)
+				}
+				if !IsPath(g, p) {
+					t.Fatalf("invalid path %v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestIsPath(t *testing.T) {
+	g := chainGraph(4)
+	if !IsPath(g, []int{0, 1, 2}) {
+		t.Fatal("valid path rejected")
+	}
+	if IsPath(g, []int{0, 2}) {
+		t.Fatal("non-edge accepted")
+	}
+	if IsPath(g, []int{}) {
+		t.Fatal("empty path accepted")
+	}
+	if IsPath(g, []int{0, 1, 0}) {
+		t.Fatal("repeated node accepted (paper: path nodes are distinct)")
+	}
+	if !IsPath(g, []int{2}) {
+		t.Fatal("single node path rejected")
+	}
+}
+
+func TestSimplePathLengthBound(t *testing.T) {
+	// The paper repeatedly uses: a simple path has length at most n-1.
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		g := RandomDigraph(n, 0.5, rng)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if p := ShortestPath(g, u, v); p != nil && len(p)-1 > n-1 {
+					t.Fatalf("path longer than n-1: %v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestReachablePanicsOnAbsent(t *testing.T) {
+	g := NewDigraph(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Reachable(g, 0)
+}

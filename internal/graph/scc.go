@@ -1,0 +1,195 @@
+package graph
+
+// SCC computes the strongly connected components of g using Tarjan's
+// algorithm (iterative, so deep graphs cannot overflow the goroutine
+// stack). Components are returned in reverse topological order of the
+// condensation (a component appears before any component it has an edge
+// into), each as a NodeSet; only present nodes are considered. Components
+// are nonempty and maximal, matching the paper's convention.
+func SCC(g *Digraph) []NodeSet {
+	n := g.N()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   []NodeSet
+		stack   []int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		iter []int // remaining out-neighbors to visit
+	}
+
+	var callStack []frame
+	visit := func(root int) {
+		callStack = callStack[:0]
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		callStack = append(callStack, frame{v: root, iter: g.out[root].Elems()})
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			advanced := false
+			for len(f.iter) > 0 {
+				w := f.iter[0]
+				f.iter = f.iter[1:]
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w, iter: g.out[w].Elems()})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All neighbors of f.v processed: pop.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				comp := NewNodeSet(n)
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp.Add(w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+
+	g.present.ForEach(func(v int) {
+		if index[v] == unvisited {
+			visit(v)
+		}
+	})
+	return comps
+}
+
+// SCCKosaraju computes strongly connected components with Kosaraju's
+// two-pass algorithm. It exists as an independent implementation used by
+// the test suite to cross-check SCC; production code should prefer SCC.
+// Components are returned in topological order of the condensation.
+func SCCKosaraju(g *Digraph) []NodeSet {
+	n := g.N()
+	visited := make([]bool, n)
+	order := make([]int, 0, g.NumNodes())
+
+	// First pass: record reverse-finish order on g.
+	var stack []int
+	var iters [][]int
+	g.present.ForEach(func(s int) {
+		if visited[s] {
+			return
+		}
+		visited[s] = true
+		stack = append(stack[:0], s)
+		iters = append(iters[:0], g.out[s].Elems())
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			it := iters[len(iters)-1]
+			advanced := false
+			for len(it) > 0 {
+				w := it[0]
+				it = it[1:]
+				if !visited[w] {
+					visited[w] = true
+					iters[len(iters)-1] = it
+					stack = append(stack, w)
+					iters = append(iters, g.out[w].Elems())
+					advanced = true
+					break
+				}
+			}
+			if advanced {
+				continue
+			}
+			iters[len(iters)-1] = it
+			order = append(order, v)
+			stack = stack[:len(stack)-1]
+			iters = iters[:len(iters)-1]
+		}
+	})
+
+	// Second pass: DFS on the transpose in reverse finish order.
+	t := g.Transpose()
+	for i := range visited {
+		visited[i] = false
+	}
+	var comps []NodeSet
+	for i := len(order) - 1; i >= 0; i-- {
+		s := order[i]
+		if visited[s] {
+			continue
+		}
+		comp := NewNodeSet(n)
+		visited[s] = true
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp.Add(v)
+			t.out[v].ForEach(func(w int) {
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			})
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// ComponentOf returns the strongly connected component of v in g, i.e. the
+// paper's C^r_p when g is the round-r skeleton. It panics if v is not
+// present.
+func ComponentOf(g *Digraph, v int) NodeSet {
+	if !g.HasNode(v) {
+		panic("graph: ComponentOf on absent node")
+	}
+	fwd := Reachable(g, v)
+	bwd := NodesReaching(g, v)
+	return fwd.Intersect(bwd)
+}
+
+// StronglyConnected reports whether the present nodes of g form a single
+// strongly connected component. The empty graph is not strongly connected;
+// a single node is (with or without a self-loop), matching the decision
+// test of Algorithm 1 line 28.
+func StronglyConnected(g *Digraph) bool {
+	first := g.present.Min()
+	if first < 0 {
+		return false
+	}
+	if !Reachable(g, first).Equal(g.present) {
+		return false
+	}
+	return NodesReaching(g, first).Equal(g.present)
+}

@@ -1,0 +1,135 @@
+// Package homodel expresses runs of the skeleton model in the vocabulary
+// of the two round-by-round frameworks the paper relates itself to
+// (Section II, eqs. (6) and (7)):
+//
+//   - the Heard-Of model of Charron-Bost and Schiper: HO(p, r) is the set
+//     of processes p hears from in round r, and
+//   - Gafni's Round-by-Round Fault Detectors: D(p, r) is the set of
+//     processes p's detector tells it not to wait for.
+//
+// Under the paper's convention that a process never receives a round-r
+// message from a process in D(p, r), the three views are interchangeable:
+//
+//	(q -> p) ∈ E^∩r  ⇔  ∀r' ≤ r: q ∈ HO(p, r')  ⇔  ∀r' ≤ r: q ∉ D(p, r')
+//
+// and the timely neighborhood satisfies
+//
+//	PT(p, r) = ⋂_{r' ≤ r} HO(p, r') = Π \ ⋃_{r' ≤ r} D(p, r').
+package homodel
+
+import (
+	"fmt"
+
+	"kset/internal/graph"
+	"kset/internal/rounds"
+)
+
+// HO returns the Heard-Of set HO(p, r) induced by the round-r
+// communication graph: the in-neighborhood of p (self included).
+func HO(g *graph.Digraph, p int) graph.NodeSet {
+	return g.InNeighbors(p)
+}
+
+// D returns the round-by-round fault detector output D(p, r) induced by
+// the round-r graph: the complement of HO(p, r) in Π.
+func D(g *graph.Digraph, p int) graph.NodeSet {
+	all := graph.FullNodeSet(g.N())
+	all.SubtractWith(g.InNeighbors(p))
+	return all
+}
+
+// View accumulates per-round HO and D sets for every process and exposes
+// the two PT formulations of eq. (7). It implements rounds.Observer.
+type View struct {
+	n      int
+	round  int
+	hoInt  []graph.NodeSet // ⋂_{r' ≤ r} HO(p, r')
+	dUnion []graph.NodeSet // ⋃_{r' ≤ r} D(p, r')
+	hos    [][]graph.NodeSet
+}
+
+// NewView returns a View for n processes. If recordRounds is set, each
+// round's HO sets are kept and retrievable via HOAt.
+func NewView(n int, recordRounds bool) *View {
+	v := &View{n: n}
+	v.hoInt = make([]graph.NodeSet, n)
+	v.dUnion = make([]graph.NodeSet, n)
+	for p := 0; p < n; p++ {
+		v.hoInt[p] = graph.FullNodeSet(n)
+		v.dUnion[p] = graph.NewNodeSet(n)
+	}
+	if recordRounds {
+		v.hos = [][]graph.NodeSet{}
+	}
+	return v
+}
+
+// Observe folds the round-r graph into the view.
+func (v *View) Observe(r int, g *graph.Digraph) {
+	if r != v.round+1 {
+		panic(fmt.Sprintf("homodel: observed round %d after %d", r, v.round))
+	}
+	if g.N() != v.n {
+		panic(fmt.Sprintf("homodel: graph universe %d, want %d", g.N(), v.n))
+	}
+	v.round = r
+	var snapshot []graph.NodeSet
+	if v.hos != nil {
+		snapshot = make([]graph.NodeSet, v.n)
+	}
+	for p := 0; p < v.n; p++ {
+		ho := HO(g, p)
+		v.hoInt[p].IntersectWith(ho)
+		v.dUnion[p].UnionWith(D(g, p))
+		if snapshot != nil {
+			snapshot[p] = ho
+		}
+	}
+	if v.hos != nil {
+		v.hos = append(v.hos, snapshot)
+	}
+}
+
+// OnRound implements rounds.Observer.
+func (v *View) OnRound(r int, g *graph.Digraph, _ []rounds.Algorithm) { v.Observe(r, g) }
+
+// Round returns the last observed round.
+func (v *View) Round() int { return v.round }
+
+// HOAt returns HO(p, r) for a recorded round (requires recordRounds).
+func (v *View) HOAt(r, p int) graph.NodeSet {
+	if v.hos == nil {
+		panic("homodel: HOAt requires round recording")
+	}
+	if r < 1 || r > v.round {
+		panic(fmt.Sprintf("homodel: round %d not recorded", r))
+	}
+	return v.hos[r-1][p].Clone()
+}
+
+// PTFromHO returns PT(p, r) computed as ⋂ HO(p, r') — the first
+// formulation of eq. (7).
+func (v *View) PTFromHO(p int) graph.NodeSet { return v.hoInt[p].Clone() }
+
+// PTFromD returns PT(p, r) computed as Π \ ⋃ D(p, r') — the second
+// formulation of eq. (7).
+func (v *View) PTFromD(p int) graph.NodeSet {
+	all := graph.FullNodeSet(v.n)
+	all.SubtractWith(v.dUnion[p])
+	return all
+}
+
+// SkeletonEdge reports whether (q -> p) ∈ E^∩r according to the HO view —
+// the left-hand side of eq. (6).
+func (v *View) SkeletonEdge(q, p int) bool { return v.hoInt[p].Has(q) }
+
+// Skeleton reconstructs the round-r skeleton graph from the HO view; by
+// eq. (6) it must equal the graph-intersection skeleton, which the test
+// suite verifies against skeleton.Tracker.
+func (v *View) Skeleton() *graph.Digraph {
+	g := graph.NewFullDigraph(v.n)
+	for p := 0; p < v.n; p++ {
+		v.hoInt[p].ForEach(func(q int) { g.AddEdge(q, p) })
+	}
+	return g
+}

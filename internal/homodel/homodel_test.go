@@ -1,0 +1,132 @@
+package homodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"kset/internal/graph"
+	"kset/internal/skeleton"
+)
+
+func TestHOAndDComplement(t *testing.T) {
+	g := graph.NewFullDigraph(4)
+	g.AddSelfLoops()
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 0)
+	ho := HO(g, 0)
+	if !ho.Equal(graph.NodeSetOf(0, 1, 2)) {
+		t.Fatalf("HO = %v", ho)
+	}
+	d := D(g, 0)
+	if !d.Equal(graph.NodeSetOf(3)) {
+		t.Fatalf("D = %v", d)
+	}
+	if ho.Intersects(d) || ho.Union(d).Len() != 4 {
+		t.Fatal("HO and D must partition Π")
+	}
+}
+
+func TestViewEquation7BothFormulations(t *testing.T) {
+	// PT(p, r) = ⋂ HO(p, r') = Π \ ⋃ D(p, r') — the paper's eq. (7).
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		v := NewView(n, false)
+		tr := skeleton.NewTracker(n, false)
+		for r := 1; r <= 12; r++ {
+			g := graph.RandomDigraph(n, rng.Float64()*0.7, rng)
+			v.Observe(r, g)
+			tr.Observe(r, g)
+			for p := 0; p < n; p++ {
+				fromHO := v.PTFromHO(p)
+				fromD := v.PTFromD(p)
+				want := tr.PT(p)
+				if !fromHO.Equal(want) || !fromD.Equal(want) {
+					t.Fatalf("eq (7) violated at round %d p%d: HO=%v D=%v skel=%v",
+						r, p+1, fromHO, fromD, want)
+				}
+			}
+		}
+	}
+}
+
+func TestViewEquation6SkeletonEquality(t *testing.T) {
+	// The HO-reconstructed skeleton equals the intersection skeleton.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		v := NewView(n, false)
+		tr := skeleton.NewTracker(n, false)
+		for r := 1; r <= 10; r++ {
+			g := graph.RandomDigraph(n, 0.5, rng)
+			v.Observe(r, g)
+			tr.Observe(r, g)
+			if !v.Skeleton().Equal(tr.Skeleton()) {
+				t.Fatalf("eq (6) violated at round %d", r)
+			}
+		}
+	}
+}
+
+func TestSkeletonEdge(t *testing.T) {
+	v := NewView(3, false)
+	g := graph.NewFullDigraph(3)
+	g.AddSelfLoops()
+	g.AddEdge(0, 1)
+	v.Observe(1, g)
+	if !v.SkeletonEdge(0, 1) {
+		t.Fatal("edge missing from HO view")
+	}
+	if v.SkeletonEdge(1, 0) {
+		t.Fatal("phantom edge in HO view")
+	}
+	g2 := graph.NewFullDigraph(3)
+	g2.AddSelfLoops()
+	v.Observe(2, g2)
+	if v.SkeletonEdge(0, 1) {
+		t.Fatal("dropped edge still in HO view")
+	}
+}
+
+func TestViewRecording(t *testing.T) {
+	v := NewView(2, true)
+	g1 := graph.NewFullDigraph(2)
+	g1.AddSelfLoops()
+	g1.AddEdge(0, 1)
+	g2 := graph.NewFullDigraph(2)
+	g2.AddSelfLoops()
+	v.Observe(1, g1)
+	v.Observe(2, g2)
+	if !v.HOAt(1, 1).Equal(graph.NodeSetOf(0, 1)) {
+		t.Fatalf("HOAt(1, p2) = %v", v.HOAt(1, 1))
+	}
+	if !v.HOAt(2, 1).Equal(graph.NodeSetOf(1)) {
+		t.Fatalf("HOAt(2, p2) = %v", v.HOAt(2, 1))
+	}
+	if v.Round() != 2 {
+		t.Fatalf("Round = %d", v.Round())
+	}
+}
+
+func TestViewPanics(t *testing.T) {
+	okGraph := func(n int) *graph.Digraph {
+		g := graph.NewFullDigraph(n)
+		g.AddSelfLoops()
+		return g
+	}
+	for _, fn := range []func(){
+		func() { v := NewView(2, false); v.Observe(2, okGraph(2)) },               // out of order
+		func() { v := NewView(2, false); v.Observe(1, okGraph(3)) },               // universe mismatch
+		func() { v := NewView(2, false); v.Observe(1, okGraph(2)); v.HOAt(1, 0) }, // no recording
+		func() { v := NewView(2, true); v.HOAt(1, 0) },                            // not observed
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,129 @@
+package predicate
+
+import (
+	"math/rand"
+
+	"kset/internal/graph"
+)
+
+// MinK is exact but exponential in the worst case (it computes an
+// independence number). For skeletons beyond a few dozen processes the
+// experiment harness needs cheap two-sided bounds:
+//
+//	MinKLower(skel) <= MinK(skel) <= MinKUpper(skel)
+//
+// The lower bound is a maximal independent set found greedily (any
+// independent set witnesses that Psrcs fails below its size); the upper
+// bound is a greedy clique cover (every clique of the shares-a-source
+// graph contributes at most one member to any independent set). Both are
+// deterministic; MinKLowerRandomized restarts the greedy search from
+// random orders to tighten the lower bound.
+
+// MinKLower returns a lower bound on MinK: the size of a greedily built
+// maximal independent set of the shares-a-source graph (minimum-degree
+// heuristic).
+func MinKLower(skel *graph.Digraph) int {
+	return greedyIndependent(SharesSourceGraph(skel), nil).Len()
+}
+
+// MinKLowerRandomized tightens MinKLower with `restarts` random greedy
+// orders; it never returns less than MinKLower.
+func MinKLowerRandomized(skel *graph.Digraph, restarts int, rng *rand.Rand) int {
+	h := SharesSourceGraph(skel)
+	best := greedyIndependent(h, nil).Len()
+	n := h.N()
+	for i := 0; i < restarts; i++ {
+		order := rng.Perm(n)
+		if got := greedyIndependent(h, order).Len(); got > best {
+			best = got
+		}
+	}
+	return best
+}
+
+// MinKUpper returns an upper bound on MinK: the number of cliques in a
+// greedy clique cover of the shares-a-source graph.
+func MinKUpper(skel *graph.Digraph) int {
+	h := SharesSourceGraph(skel)
+	n := h.N()
+	assigned := graph.NewNodeSet(n)
+	cliques := 0
+	for v := 0; v < n; v++ {
+		if assigned.Has(v) {
+			continue
+		}
+		// Grow a clique starting from v: candidates are unassigned
+		// neighbors adjacent to every member so far.
+		clique := graph.NodeSetOf(v)
+		assigned.Add(v)
+		cand := h.OutNeighbors(v)
+		cand.SubtractWith(assigned)
+		for {
+			pick := -1
+			cand.ForEach(func(w int) {
+				if pick == -1 {
+					pick = w
+				}
+			})
+			if pick == -1 {
+				break
+			}
+			clique.Add(pick)
+			assigned.Add(pick)
+			cand.Remove(pick)
+			cand.IntersectWith(h.OutNeighbors(pick))
+			cand.SubtractWith(assigned)
+		}
+		cliques++
+	}
+	return cliques
+}
+
+// greedyIndependent builds a maximal independent set. With a nil order it
+// repeatedly picks the unremoved vertex of minimum remaining degree;
+// otherwise it scans vertices in the given order.
+func greedyIndependent(h *graph.Digraph, order []int) graph.NodeSet {
+	n := h.N()
+	removed := graph.NewNodeSet(n)
+	out := graph.NewNodeSet(n)
+	take := func(v int) {
+		out.Add(v)
+		removed.Add(v)
+		h.OutNeighbors(v).ForEach(func(w int) { removed.Add(w) })
+	}
+	if order != nil {
+		for _, v := range order {
+			if !removed.Has(v) {
+				take(v)
+			}
+		}
+		return out
+	}
+	for {
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if removed.Has(v) {
+				continue
+			}
+			deg := 0
+			h.OutNeighbors(v).ForEach(func(w int) {
+				if !removed.Has(w) && w != v {
+					deg++
+				}
+			})
+			if deg < bestDeg {
+				best, bestDeg = v, deg
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		take(best)
+	}
+}
+
+// MinKBounds returns (lower, upper) bounds on MinK computed in polynomial
+// time. lower == upper pins MinK exactly without the exponential search.
+func MinKBounds(skel *graph.Digraph) (lower, upper int) {
+	return MinKLower(skel), MinKUpper(skel)
+}

@@ -1,0 +1,126 @@
+package predicate
+
+import (
+	"kset/internal/graph"
+)
+
+// This file collects classic communication predicates from the
+// round-by-round literature the paper builds on, expressed over the
+// structures of this reproduction. They come in two flavors:
+//
+//   - round-wise predicates over a single communication graph G^r (the
+//     Heard-Of style: a run satisfies the predicate if every round does);
+//   - skeleton predicates over G^∩∞ (the paper's style, like Psrcs).
+//
+// Sources: Charron-Bost & Schiper, "The Heard-Of model" (Distributed
+// Computing 22(1), 2009) for Pnosplit and the majority predicates; Gafni,
+// PODC 1998 for the RRFD view; Santoro & Widmayer, STACS 1989 for the
+// mobile-omission regimes exercised by adversary.Mobile.
+
+// RoundPredicate is a predicate over one round's communication graph.
+type RoundPredicate func(g *graph.Digraph) bool
+
+// HoldsEveryRound checks a round-wise predicate over rounds 1..horizon of
+// an eventually-constant graph sequence produced by graphAt.
+func HoldsEveryRound(pred RoundPredicate, graphAt func(r int) *graph.Digraph, horizon int) bool {
+	for r := 1; r <= horizon; r++ {
+		if !pred(graphAt(r)) {
+			return false
+		}
+	}
+	return true
+}
+
+// NoSplit is the HO predicate P_nosplit: any two heard-of sets intersect
+// (∀p, q: HO(p) ∩ HO(q) ≠ ∅). It is the classic requirement for safe
+// voting-style consensus algorithms such as OneThirdRule's safety.
+func NoSplit(g *graph.Digraph) bool {
+	n := g.N()
+	for p := 0; p < n; p++ {
+		inP := g.InNeighbors(p)
+		for q := p + 1; q < n; q++ {
+			if !inP.Intersects(g.InNeighbors(q)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MajorityHO reports whether every process hears a strict majority this
+// round (∀p: |HO(p)| > n/2). Majority heard-of sets imply NoSplit.
+func MajorityHO(g *graph.Digraph) bool {
+	n := g.N()
+	for p := 0; p < n; p++ {
+		if 2*g.InDegree(p) <= n {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformHO reports whether all processes hear exactly the same set this
+// round (∀p, q: HO(p) = HO(q)) — the "space-uniform" rounds under which
+// one round of voting decides.
+func UniformHO(g *graph.Digraph) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	first := g.InNeighbors(0)
+	for p := 1; p < n; p++ {
+		if !g.InNeighbors(p).Equal(first) {
+			return false
+		}
+	}
+	return true
+}
+
+// KernelNonEmpty reports whether some process is heard by everyone this
+// round (⋂_p HO(p) ≠ ∅ — the round's "kernel"). A perpetual nonempty
+// kernel with a fixed member makes that member a universal 2-source, i.e.
+// Psrcs(1) on the skeleton.
+func KernelNonEmpty(g *graph.Digraph) bool {
+	return !Kernel(g).Empty()
+}
+
+// Kernel returns ⋂_p HO(p): the processes heard by everyone this round.
+func Kernel(g *graph.Digraph) graph.NodeSet {
+	n := g.N()
+	acc := graph.FullNodeSet(n)
+	for p := 0; p < n; p++ {
+		acc.IntersectWith(g.InNeighbors(p))
+	}
+	return acc
+}
+
+// SkeletonKernel returns the kernel of the stable skeleton: processes
+// perpetually heard by everyone. Nonempty iff Psrcs(1) holds via a single
+// universal source (sufficient, not necessary, for MinK = 1).
+func SkeletonKernel(skel *graph.Digraph) graph.NodeSet { return Kernel(skel) }
+
+// CrashTolerant reports whether the round graph is consistent with at
+// most f crashed processes in a synchronous system: at most f processes
+// have missing out-edges, and the silent set is consistent (a process
+// either reaches everyone or is crashed). This is the classic f-resilient
+// synchronous round shape FloodMin assumes.
+func CrashTolerant(g *graph.Digraph, f int) bool {
+	n := g.N()
+	broken := 0
+	for p := 0; p < n; p++ {
+		if g.OutDegree(p) < n {
+			broken++
+		}
+	}
+	return broken <= f
+}
+
+// ImpliesNoSplit re-checks the textbook implication "majority heard-of
+// sets imply no-split" on a concrete graph; exported for the test suite
+// and for documentation of the predicate hierarchy.
+func ImpliesNoSplit(g *graph.Digraph) bool {
+	if !MajorityHO(g) {
+		return true // implication vacuous
+	}
+	return NoSplit(g)
+}

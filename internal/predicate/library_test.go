@@ -1,0 +1,127 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+
+	"kset/internal/graph"
+)
+
+func TestNoSplit(t *testing.T) {
+	// All hear p1 and themselves: any two HO sets share p1.
+	g := loopy(4)
+	for v := 0; v < 4; v++ {
+		g.AddEdge(0, v)
+	}
+	if !NoSplit(g) {
+		t.Fatal("star should satisfy NoSplit")
+	}
+	// Two isolated pairs: split.
+	h := loopy(4, [2]int{0, 1}, [2]int{1, 0}, [2]int{2, 3}, [2]int{3, 2})
+	if NoSplit(h) {
+		t.Fatal("disjoint pairs should violate NoSplit")
+	}
+}
+
+func TestMajorityHO(t *testing.T) {
+	g := graph.CompleteDigraph(5)
+	if !MajorityHO(g) {
+		t.Fatal("complete graph has majority HO sets")
+	}
+	g.RemoveEdge(0, 1)
+	g.RemoveEdge(2, 1)
+	// p2 now hears 3 of 5: still a majority.
+	if !MajorityHO(g) {
+		t.Fatal("3/5 is still a majority")
+	}
+	g.RemoveEdge(3, 1)
+	// p2 hears 2 of 5: no majority.
+	if MajorityHO(g) {
+		t.Fatal("2/5 is not a majority")
+	}
+}
+
+func TestMajorityImpliesNoSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(9)
+		g := graph.RandomDigraph(n, rng.Float64(), rng)
+		if !ImpliesNoSplit(g) {
+			t.Fatalf("majority without no-split on %v", g)
+		}
+		if MajorityHO(g) && !NoSplit(g) {
+			t.Fatalf("textbook implication violated on %v", g)
+		}
+	}
+}
+
+func TestUniformHO(t *testing.T) {
+	g := graph.CompleteDigraph(3)
+	if !UniformHO(g) {
+		t.Fatal("complete rounds are uniform")
+	}
+	g.RemoveEdge(0, 1)
+	if UniformHO(g) {
+		t.Fatal("asymmetric round reported uniform")
+	}
+}
+
+func TestKernel(t *testing.T) {
+	g := loopy(4)
+	for v := 0; v < 4; v++ {
+		g.AddEdge(2, v) // p3 heard by everyone
+	}
+	if got := Kernel(g); !got.Equal(graph.NodeSetOf(2)) {
+		t.Fatalf("Kernel = %v, want {p3}", got)
+	}
+	if !KernelNonEmpty(g) {
+		t.Fatal("kernel should be nonempty")
+	}
+	iso := loopy(3)
+	if KernelNonEmpty(iso) {
+		t.Fatal("isolation has empty kernel for n > 1")
+	}
+	single := loopy(1)
+	if !KernelNonEmpty(single) {
+		t.Fatal("single process is its own kernel")
+	}
+}
+
+func TestSkeletonKernelImpliesMinK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		skel := graph.RandomDigraph(n, rng.Float64()*0.4, rng)
+		if !SkeletonKernel(skel).Empty() && MinK(skel) != 1 {
+			t.Fatalf("nonempty kernel but MinK = %d for %v", MinK(skel), skel)
+		}
+	}
+}
+
+func TestCrashTolerant(t *testing.T) {
+	g := graph.CompleteDigraph(4)
+	if !CrashTolerant(g, 0) {
+		t.Fatal("complete graph is 0-crash-shaped")
+	}
+	g.RemoveEdge(1, 0)
+	g.RemoveEdge(1, 2)
+	if CrashTolerant(g, 0) {
+		t.Fatal("one silent process is not 0-crash-shaped")
+	}
+	if !CrashTolerant(g, 1) {
+		t.Fatal("one silent process fits f=1")
+	}
+}
+
+func TestHoldsEveryRound(t *testing.T) {
+	full := graph.CompleteDigraph(3)
+	weak := loopy(3)
+	graphs := []*graph.Digraph{full, full, weak}
+	at := func(r int) *graph.Digraph { return graphs[r-1] }
+	if !HoldsEveryRound(MajorityHO, at, 2) {
+		t.Fatal("first two rounds satisfy majority")
+	}
+	if HoldsEveryRound(MajorityHO, at, 3) {
+		t.Fatal("round 3 breaks majority")
+	}
+}

@@ -1,0 +1,217 @@
+// Package predicate implements the paper's communication predicates over
+// stable skeletons, most importantly Psrcs(k) (Section III): in every set
+// S of k+1 processes there are two distinct processes q, q' that receive
+// timely messages from a common 2-source p, in every round.
+//
+// Because PT(q) is exactly the in-neighborhood of q in the stable
+// skeleton G^∩∞, Psrcs(k) is a property of that one graph. The package
+// also provides the structural quantities the paper's theorems connect:
+//
+//	#root components of G^∩∞  ≤  MinK(G^∩∞)  ≤  k   for any k with Psrcs(k)
+//
+// where MinK is the smallest k for which Psrcs(k) holds. MinK equals the
+// independence number of the "shares-a-source" graph (two processes are
+// adjacent iff their timely neighborhoods intersect), computed exactly.
+package predicate
+
+import (
+	"kset/internal/graph"
+)
+
+// Psrc reports whether p is a 2-source for the set S under the given
+// stable skeleton: ∃ q, q' ∈ S, q ≠ q', with p ∈ PT(q) ∩ PT(q')
+// (paper eq. (8), first line). PT(q) is the in-neighborhood of q, so this
+// checks that p has edges to two distinct members of S. p may itself be
+// in S (the paper allows p = q via self-loops).
+func Psrc(skel *graph.Digraph, p int, S graph.NodeSet) bool {
+	if !skel.HasNode(p) {
+		return false
+	}
+	timelyReceivers := skel.OutNeighbors(p)
+	timelyReceivers.IntersectWith(S)
+	return timelyReceivers.Len() >= 2
+}
+
+// TwoSources returns every process that is a 2-source for S:
+// {p : Psrc(skel, p, S)}.
+func TwoSources(skel *graph.Digraph, S graph.NodeSet) graph.NodeSet {
+	out := graph.NewNodeSet(skel.N())
+	skel.Nodes().ForEach(func(p int) {
+		if Psrc(skel, p, S) {
+			out.Add(p)
+		}
+	})
+	return out
+}
+
+// CommonSources returns PT(q) ∩ PT(q'): the processes both q and q'
+// perpetually hear from.
+func CommonSources(skel *graph.Digraph, q, qq int) graph.NodeSet {
+	return skel.InNeighbors(q).Intersect(skel.InNeighbors(qq))
+}
+
+// SharesSourceGraph builds the undirected "shares-a-source" graph over
+// all n processes: q and q' (q ≠ q') are adjacent iff PT(q) ∩ PT(q') ≠ ∅.
+// It is represented as a symmetric digraph without self-loops.
+func SharesSourceGraph(skel *graph.Digraph) *graph.Digraph {
+	n := skel.N()
+	h := graph.NewFullDigraph(n)
+	for q := 0; q < n; q++ {
+		inQ := skel.InNeighbors(q)
+		for qq := q + 1; qq < n; qq++ {
+			if inQ.Intersects(skel.InNeighbors(qq)) {
+				h.AddEdge(q, qq)
+				h.AddEdge(qq, q)
+			}
+		}
+	}
+	return h
+}
+
+// Holds reports whether Psrcs(k) holds for the stable skeleton: every
+// (k+1)-subset of processes contains two distinct members with a common
+// source (paper eq. (8)). Equivalently, the shares-a-source graph has no
+// independent set of size k+1.
+func Holds(skel *graph.Digraph, k int) bool {
+	if k < 1 {
+		return false
+	}
+	if k >= skel.N() {
+		// Sets of size k+1 > n do not exist; the universal
+		// quantification is vacuously true.
+		return true
+	}
+	return MinK(skel) <= k
+}
+
+// MinK returns the smallest k for which Psrcs(k) holds: the independence
+// number α of the shares-a-source graph. A skeleton with all self-loops
+// always has α >= 1, and Psrcs(k) holds exactly for all k >= MinK
+// (violating sets of size α+1 cannot exist, and an independent set of
+// size α is a violating set for k = α-1).
+func MinK(skel *graph.Digraph) int {
+	return IndependenceNumber(SharesSourceGraph(skel))
+}
+
+// Violation returns a set S of k+1 processes with no 2-source, i.e. a
+// witness that Psrcs(k) fails, or ok=false if Psrcs(k) holds.
+func Violation(skel *graph.Digraph, k int) (S graph.NodeSet, ok bool) {
+	if k >= skel.N() || k < 0 {
+		return graph.NodeSet{}, false
+	}
+	shares := SharesSourceGraph(skel)
+	is := MaxIndependentSet(shares)
+	if is.Len() >= k+1 {
+		// Any (k+1)-subset of a maximum independent set violates.
+		out := graph.NewNodeSet(skel.N())
+		count := 0
+		is.ForEach(func(v int) {
+			if count < k+1 {
+				out.Add(v)
+				count++
+			}
+		})
+		return out, true
+	}
+	return graph.NodeSet{}, false
+}
+
+// HoldsBrute checks Psrcs(k) by enumerating every (k+1)-subset; it is the
+// oracle the test suite uses to validate Holds and is exponential in n.
+func HoldsBrute(skel *graph.Digraph, k int) bool {
+	n := skel.N()
+	if k < 1 {
+		return false
+	}
+	if k >= n {
+		return true
+	}
+	subset := make([]int, 0, k+1)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(subset) == k+1 {
+			S := graph.NodeSetOf(subset...)
+			found := false
+			for p := 0; p < n && !found; p++ {
+				found = Psrc(skel, p, S)
+			}
+			return found
+		}
+		for v := start; v < n; v++ {
+			subset = append(subset, v)
+			ok := rec(v + 1)
+			subset = subset[:len(subset)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// MaxIndependentSet computes a maximum independent set of an undirected
+// graph (given as a symmetric digraph) exactly, by branch and bound. All
+// n universe nodes participate, present or not (absent nodes have no
+// edges and are trivially independent). Exponential worst case; intended
+// for the n ≤ 64 range used in experiments.
+func MaxIndependentSet(h *graph.Digraph) graph.NodeSet {
+	n := h.N()
+	adj := make([]graph.NodeSet, n)
+	for v := 0; v < n; v++ {
+		if h.HasNode(v) {
+			a := h.OutNeighbors(v)
+			a.Remove(v) // ignore self-loops
+			adj[v] = a
+		} else {
+			adj[v] = graph.NewNodeSet(n)
+		}
+	}
+	best := graph.NewNodeSet(n)
+	cur := graph.NewNodeSet(n)
+
+	var rec func(cand graph.NodeSet)
+	rec = func(cand graph.NodeSet) {
+		if cur.Len()+cand.Len() <= best.Len() {
+			return // bound: cannot beat the incumbent
+		}
+		v := cand.Min()
+		if v < 0 {
+			if cur.Len() > best.Len() {
+				best = cur.Clone()
+			}
+			return
+		}
+		// Branch 1: v in the set — drop v and its neighbors.
+		with := cand.Clone()
+		with.Remove(v)
+		with.SubtractWith(adj[v])
+		cur.Add(v)
+		rec(with)
+		cur.Remove(v)
+		// Branch 2: v not in the set.
+		without := cand.Clone()
+		without.Remove(v)
+		rec(without)
+	}
+	rec(graph.FullNodeSet(n))
+	return best
+}
+
+// IndependenceNumber returns the size of a maximum independent set of the
+// undirected graph h.
+func IndependenceNumber(h *graph.Digraph) int {
+	return MaxIndependentSet(h).Len()
+}
+
+// RootComponentBound re-checks the inequality chain used by Theorem 1 on
+// a concrete skeleton: it returns (#root components, MinK) and whether
+// #rootcomps ≤ MinK. Distinct root components never share a source (all
+// in-edges of a root component member stay inside the component), so one
+// process per root component forms an independent set of the
+// shares-a-source graph.
+func RootComponentBound(skel *graph.Digraph) (rootComps, minK int, ok bool) {
+	rootComps = len(graph.RootComponents(skel))
+	minK = MinK(skel)
+	return rootComps, minK, rootComps <= minK
+}

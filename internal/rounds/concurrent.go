@@ -1,0 +1,107 @@
+package rounds
+
+import "sync"
+
+// RunConcurrent executes a run with one goroutine per process,
+// communicating over channels: each process goroutine emits its round-r
+// message, a coordinator routes the messages along the round-r
+// communication graph, and each process applies its transition to whatever
+// arrived. Rounds are communication-closed, so the per-round barrier is
+// inherent to the model, not an artifact of the implementation.
+//
+// RunConcurrent produces exactly the same run as RunSequential for the
+// same Config (the test suite checks trace equality); use it when process
+// transitions are expensive enough to benefit from parallelism.
+func RunConcurrent(cfg Config) (*Result, error) {
+	n, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+
+	procs := make([]Algorithm, n)
+	for i := 0; i < n; i++ {
+		procs[i] = cfg.NewProcess(i)
+		procs[i].Init(i, n)
+	}
+
+	type outMsg struct {
+		from int
+		msg  any
+	}
+	var (
+		outbox  = make(chan outMsg, n) // round-r broadcasts, process -> coordinator
+		acks    = make(chan int, n)    // transition-done signals, process -> coordinator
+		inboxes = make([]chan []any, n)
+		done    = make(chan struct{}) // closed to terminate all process goroutines
+		wg      sync.WaitGroup
+	)
+	for i := range inboxes {
+		inboxes[i] = make(chan []any, 1)
+	}
+
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(self int, p Algorithm) {
+			defer wg.Done()
+			for r := 1; ; r++ {
+				select {
+				case <-done:
+					return
+				case outbox <- outMsg{from: self, msg: p.Send(r)}:
+				}
+				var recv []any
+				select {
+				case <-done:
+					return
+				case recv = <-inboxes[self]:
+				}
+				p.Transition(r, recv)
+				select {
+				case <-done:
+					return
+				case acks <- self:
+				}
+			}
+		}(i, procs[i])
+	}
+
+	stop := func() {
+		close(done)
+		wg.Wait()
+	}
+
+	msgs := make([]any, n)
+	res := &Result{Procs: procs}
+	for r := 1; r <= cfg.MaxRounds; r++ {
+		// Collect every process's round-r broadcast.
+		for i := 0; i < n; i++ {
+			m := <-outbox
+			msgs[m.from] = m.msg
+		}
+		g := cfg.Adversary.Graph(r)
+		if err := checkGraph(g, n, r); err != nil {
+			stop()
+			return nil, err
+		}
+		// Route along the round graph.
+		for q := 0; q < n; q++ {
+			recv := make([]any, n)
+			g.ForEachIn(q, func(p int) { recv[p] = msgs[p] })
+			inboxes[q] <- recv
+		}
+		// Barrier: all round-r transitions done before observing.
+		for i := 0; i < n; i++ {
+			<-acks
+		}
+		res.Rounds = r
+		if cfg.Observer != nil {
+			cfg.Observer.OnRound(r, g, procs)
+		}
+		if cfg.StopWhen != nil && cfg.StopWhen(r, procs) {
+			res.Stopped = true
+			break
+		}
+	}
+	stop()
+	return res, nil
+}

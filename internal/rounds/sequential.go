@@ -1,0 +1,66 @@
+package rounds
+
+import "kset/internal/graph"
+
+// RunSequential executes a run in lockstep on the calling goroutine:
+// collect all round-r messages, deliver along the round-r graph, apply all
+// transitions, notify the observer, repeat. It is the executor of choice
+// for tests and benchmarks (no scheduling noise, fully deterministic).
+func RunSequential(cfg Config) (*Result, error) {
+	n, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+
+	procs := make([]Algorithm, n)
+	for i := 0; i < n; i++ {
+		procs[i] = cfg.NewProcess(i)
+		procs[i].Init(i, n)
+	}
+
+	msgs := make([]any, n)
+	// One reusable receive buffer per process; cleared every round.
+	recvBufs := make([][]any, n)
+	for i := range recvBufs {
+		recvBufs[i] = make([]any, n)
+	}
+
+	res := &Result{Procs: procs}
+	for r := 1; r <= cfg.MaxRounds; r++ {
+		for i, p := range procs {
+			msgs[i] = p.Send(r)
+		}
+		g := cfg.Adversary.Graph(r)
+		if err := checkGraph(g, n, r); err != nil {
+			return nil, err
+		}
+		deliver(g, msgs, recvBufs)
+		for i, p := range procs {
+			p.Transition(r, recvBufs[i])
+		}
+		res.Rounds = r
+		if cfg.Observer != nil {
+			cfg.Observer.OnRound(r, g, procs)
+		}
+		if cfg.StopWhen != nil && cfg.StopWhen(r, procs) {
+			res.Stopped = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// deliver fills recvBufs[q][p] with msgs[p] exactly when the edge p->q is
+// in g, and nil otherwise.
+func deliver(g *graph.Digraph, msgs []any, recvBufs [][]any) {
+	n := len(msgs)
+	for q := 0; q < n; q++ {
+		buf := recvBufs[q]
+		for p := 0; p < n; p++ {
+			buf[p] = nil
+		}
+		g.ForEachIn(q, func(p int) {
+			buf[p] = msgs[p]
+		})
+	}
+}

@@ -1,0 +1,210 @@
+// Package sim is the experiment driver: it wires an adversary, Algorithm 1
+// (or a baseline), the skeleton tracker, the wire meter, and the outcome
+// checker into one call, and runs parameter sweeps on a worker pool. All
+// experiment tables in EXPERIMENTS.md are produced through this package
+// (see cmd/ksetbench and bench_test.go).
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"kset/internal/core"
+	"kset/internal/graph"
+	"kset/internal/predicate"
+	"kset/internal/rounds"
+	"kset/internal/skeleton"
+	"kset/internal/trace"
+	"kset/internal/wire"
+)
+
+// Spec describes one simulation.
+type Spec struct {
+	// Adversary generates the run; required.
+	Adversary rounds.Adversary
+	// Proposals are the initial values; len must equal Adversary.N().
+	Proposals []int64
+	// Opts configures Algorithm 1.
+	Opts core.Options
+	// NewProcess optionally overrides the algorithm under test (e.g. a
+	// baseline); when nil, Algorithm 1 with Proposals/Opts is used.
+	NewProcess func(self int) rounds.Algorithm
+	// MaxRounds bounds the run; 0 means an automatic bound generous
+	// enough for Lemma 11 (stabilization + 2n + 5, or 12n without a
+	// Stabilizer).
+	MaxRounds int
+	// RunToCompletion keeps executing until MaxRounds even after all
+	// processes decided (needed when later rounds are inspected).
+	RunToCompletion bool
+	// Concurrent selects the goroutine-per-process executor.
+	Concurrent bool
+	// MeterMessages measures encoded message sizes (Algorithm 1 only).
+	MeterMessages bool
+	// Observer, if non-nil, is notified after every round (in addition
+	// to the skeleton tracker the driver installs).
+	Observer rounds.Observer
+}
+
+// Outcome bundles the decision summary with skeleton- and wire-level
+// measurements.
+type Outcome struct {
+	trace.Outcome
+	// RST is the observed stabilization round of the skeleton (last
+	// round that removed an edge; >= 1).
+	RST int
+	// RootComps is the number of root components of the stable skeleton.
+	RootComps int
+	// MinK is the smallest k for which Psrcs(k) holds in this run.
+	MinK int
+	// Skeleton is the stable skeleton G^∩∞ of the run.
+	Skeleton *graph.Digraph
+	// Meter holds wire statistics when Spec.MeterMessages was set.
+	Meter wire.Meter
+}
+
+// meteredProc wraps Algorithm 1 to measure outgoing message sizes.
+type meteredProc struct {
+	*core.Process
+	mu    *sync.Mutex
+	meter *wire.Meter
+}
+
+func (m meteredProc) Send(r int) any {
+	msg := m.Process.Send(r)
+	m.mu.Lock()
+	m.meter.ObserveMessage(msg.(core.Message))
+	m.mu.Unlock()
+	return msg
+}
+
+// Execute runs one simulation.
+func Execute(spec Spec) (*Outcome, error) {
+	if spec.Adversary == nil {
+		return nil, fmt.Errorf("sim: nil adversary")
+	}
+	n := spec.Adversary.N()
+	if spec.NewProcess == nil && len(spec.Proposals) != n {
+		return nil, fmt.Errorf("sim: %d proposals for %d processes", len(spec.Proposals), n)
+	}
+
+	maxRounds := spec.MaxRounds
+	if maxRounds == 0 {
+		if s, ok := spec.Adversary.(rounds.Stabilizer); ok {
+			maxRounds = s.StabilizationRound() + 2*n + 5
+		} else {
+			maxRounds = 12 * n
+		}
+	}
+
+	out := &Outcome{}
+	tracker := skeleton.NewTracker(n, false)
+
+	factory := spec.NewProcess
+	if factory == nil {
+		inner := core.NewFactory(spec.Proposals, spec.Opts)
+		if spec.MeterMessages {
+			var mu sync.Mutex
+			factory = func(self int) rounds.Algorithm {
+				return meteredProc{
+					Process: inner(self).(*core.Process),
+					mu:      &mu,
+					meter:   &out.Meter,
+				}
+			}
+		} else {
+			factory = inner
+		}
+	}
+
+	var observer rounds.Observer = tracker
+	if spec.Observer != nil {
+		observer = rounds.MultiObserver{tracker, spec.Observer}
+	}
+	cfg := rounds.Config{
+		Adversary:  spec.Adversary,
+		NewProcess: factory,
+		MaxRounds:  maxRounds,
+		Observer:   observer,
+	}
+	if !spec.RunToCompletion {
+		cfg.StopWhen = rounds.AllDecided
+	}
+
+	runner := rounds.RunSequential
+	if spec.Concurrent {
+		runner = rounds.RunConcurrent
+	}
+	res, err := runner(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	oc, err := trace.Collect(res)
+	if err != nil {
+		return nil, err
+	}
+	out.Outcome = *oc
+
+	// Prefer the adversary's exact stable skeleton (runs may stop before
+	// the tracker has seen all transient edges disappear).
+	if sp, ok := spec.Adversary.(interface{ StableSkeleton() *graph.Digraph }); ok {
+		out.Skeleton = sp.StableSkeleton()
+	} else {
+		out.Skeleton = tracker.Skeleton()
+	}
+	out.RST = tracker.LastChange()
+	if out.RST < 1 {
+		out.RST = 1
+	}
+	out.RootComps = len(graph.RootComponents(out.Skeleton))
+	out.MinK = predicate.MinK(out.Skeleton)
+	return out, nil
+}
+
+// Sweep executes specs on `workers` goroutines, preserving order. A nil
+// or zero workers value runs sequentially. The first error aborts the
+// sweep.
+func Sweep(specs []Spec, workers int) ([]*Outcome, error) {
+	if workers <= 1 || len(specs) <= 1 {
+		outs := make([]*Outcome, len(specs))
+		for i, s := range specs {
+			o, err := Execute(s)
+			if err != nil {
+				return nil, fmt.Errorf("sim: spec %d: %w", i, err)
+			}
+			outs[i] = o
+		}
+		return outs, nil
+	}
+
+	outs := make([]*Outcome, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[i], errs[i] = Execute(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: spec %d: %w", i, err)
+		}
+	}
+	return outs, nil
+}
+
+// SeqProposals returns the canonical distinct proposal vector
+// 1, 2, ..., n.
+func SeqProposals(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kset/internal/adversary"
+	"kset/internal/baseline"
+	"kset/internal/core"
+	"kset/internal/rounds"
+)
+
+func TestExecuteFigure1(t *testing.T) {
+	out, err := Execute(Spec{
+		Adversary: adversary.Figure1(),
+		Proposals: SeqProposals(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Check(3); err != nil {
+		t.Fatal(err)
+	}
+	if out.RootComps != 2 || out.MinK != 3 {
+		t.Fatalf("RootComps=%d MinK=%d, want 2/3", out.RootComps, out.MinK)
+	}
+	if out.RST != 3 {
+		t.Fatalf("RST = %d, want 3", out.RST)
+	}
+	if out.Rounds != 8 {
+		t.Fatalf("Rounds = %d, want 8 (stops when all decided)", out.Rounds)
+	}
+	if !out.Skeleton.Equal(adversary.Figure1StableSkeleton()) {
+		t.Fatal("skeleton mismatch")
+	}
+}
+
+func TestExecuteMeterCountsAllMessages(t *testing.T) {
+	out, err := Execute(Spec{
+		Adversary:     adversary.Figure1(),
+		Proposals:     SeqProposals(6),
+		MeterMessages: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMsgs := 6 * out.Rounds // every process broadcasts once per round
+	if out.Meter.Messages != wantMsgs {
+		t.Fatalf("Messages = %d, want %d", out.Meter.Messages, wantMsgs)
+	}
+	if out.Meter.MaxBytes <= 0 || out.Meter.Avg() <= 0 {
+		t.Fatal("meter recorded nothing")
+	}
+}
+
+func TestExecuteConcurrentMatchesSequential(t *testing.T) {
+	a, err := Execute(Spec{Adversary: adversary.Figure1(), Proposals: SeqProposals(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(Spec{Adversary: adversary.Figure1(), Proposals: SeqProposals(6), Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("round counts differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] || a.DecideRounds[i] != b.DecideRounds[i] {
+			t.Fatalf("p%d differs across executors", i+1)
+		}
+	}
+}
+
+func TestExecuteBaselineOverride(t *testing.T) {
+	n := 5
+	out, err := Execute(Spec{
+		Adversary:  adversary.Complete(n),
+		NewProcess: baseline.NewFloodMinFactory(SeqProposals(n), 0, 1),
+		MaxRounds:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Check(1); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 1 {
+		t.Fatalf("FloodMin f=0 should finish in 1 round, took %d", out.Rounds)
+	}
+}
+
+func TestExecuteRunToCompletion(t *testing.T) {
+	out, err := Execute(Spec{
+		Adversary:       adversary.Figure1(),
+		Proposals:       SeqProposals(6),
+		MaxRounds:       20,
+		RunToCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 20 {
+		t.Fatalf("Rounds = %d, want full 20", out.Rounds)
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	if _, err := Execute(Spec{}); err == nil {
+		t.Fatal("nil adversary accepted")
+	}
+	if _, err := Execute(Spec{Adversary: adversary.Complete(3), Proposals: SeqProposals(2)}); err == nil {
+		t.Fatal("proposal length mismatch accepted")
+	}
+}
+
+func TestExecuteDefaultBoundNonStabilizer(t *testing.T) {
+	ch := adversary.NewChurn(adversary.Figure1StableSkeleton(), 0.1, 5)
+	out, err := Execute(Spec{Adversary: ch, Proposals: SeqProposals(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.CheckTermination(); err != nil {
+		t.Fatal(err)
+	}
+	// Churn has no exact StableSkeleton method; sim falls back to the
+	// tracker's skeleton, which converges to the core.
+	if out.MinK < 1 {
+		t.Fatal("MinK not computed")
+	}
+}
+
+func TestSweepPreservesOrderAndParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var specs []Spec
+	var wantK []int
+	for i := 0; i < 12; i++ {
+		k := 2 + rng.Intn(3)
+		n := k + 2 + rng.Intn(3)
+		specs = append(specs, Spec{
+			Adversary: adversary.LowerBound(n, k),
+			Proposals: SeqProposals(n),
+		})
+		wantK = append(wantK, k)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		outs, err := Sweep(specs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != len(specs) {
+			t.Fatalf("outs = %d", len(outs))
+		}
+		for i, out := range outs {
+			if got := len(out.DistinctDecisions()); got != wantK[i] {
+				t.Fatalf("workers=%d spec %d: %d decisions, want %d",
+					workers, i, got, wantK[i])
+			}
+		}
+	}
+}
+
+func TestSweepPropagatesError(t *testing.T) {
+	specs := []Spec{
+		{Adversary: adversary.Complete(2), Proposals: SeqProposals(2)},
+		{}, // invalid
+	}
+	if _, err := Sweep(specs, 2); err == nil {
+		t.Fatal("error not propagated")
+	}
+	if _, err := Sweep(specs, 1); err == nil {
+		t.Fatal("error not propagated sequentially")
+	}
+}
+
+func TestMeteredProcStillDecider(t *testing.T) {
+	// The metering wrapper must keep the Decider interface visible.
+	out, err := Execute(Spec{
+		Adversary:     adversary.Complete(3),
+		Proposals:     SeqProposals(3),
+		MeterMessages: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.CheckTermination(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E0: demo", "n", "k", "mean")
+	tb.AddRow(4, 2, 1.5)
+	tb.AddRow(16, 3, 2.25)
+	s := tb.Render()
+	for _, want := range []string{"E0: demo", "n", "mean", "1.50", "2.25", "16"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Render missing %q:\n%s", want, s)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow(1)
+}
+
+// Interface checks for the wrapped process.
+var _ rounds.Decider = meteredProc{}
+var _ rounds.Algorithm = meteredProc{}
+var _ = core.Options{}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"kset/internal/adversary"
+	"kset/internal/core"
+	"kset/internal/rounds"
+)
+
+func figureOutcome(t *testing.T) *Outcome {
+	t.Helper()
+	props := []int64{1, 2, 3, 4, 5, 6}
+	res, err := rounds.RunSequential(rounds.Config{
+		Adversary:  adversary.Figure1(),
+		NewProcess: core.NewFactory(props, core.Options{}),
+		MaxRounds:  30,
+		StopWhen:   rounds.AllDecided,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := Collect(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oc
+}
+
+func TestCollectFigure1(t *testing.T) {
+	oc := figureOutcome(t)
+	if oc.N != 6 || oc.Rounds != 8 {
+		t.Fatalf("N=%d Rounds=%d", oc.N, oc.Rounds)
+	}
+	got := oc.DistinctDecisions()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("DistinctDecisions = %v", got)
+	}
+	if oc.MaxDecisionRound() != 8 {
+		t.Fatalf("MaxDecisionRound = %d", oc.MaxDecisionRound())
+	}
+	if err := oc.Check(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckKAgreementFails(t *testing.T) {
+	oc := figureOutcome(t)
+	if err := oc.CheckKAgreement(1); err == nil {
+		t.Fatal("1-agreement should fail with 2 values")
+	}
+}
+
+func TestCheckValidityFails(t *testing.T) {
+	oc := figureOutcome(t)
+	oc.Decisions[0] = 999
+	if err := oc.CheckValidity(); err == nil {
+		t.Fatal("forged decision accepted")
+	}
+}
+
+func TestCheckTerminationFails(t *testing.T) {
+	oc := figureOutcome(t)
+	oc.Decided[3] = false
+	err := oc.CheckTermination()
+	if err == nil {
+		t.Fatal("missing decision accepted")
+	}
+	if !strings.Contains(err.Error(), "p4") {
+		t.Fatalf("error should name p4: %v", err)
+	}
+}
+
+func TestCollectRejectsNonDeciders(t *testing.T) {
+	res := &rounds.Result{Procs: []rounds.Algorithm{nonDecider{}}}
+	if _, err := Collect(res); err == nil {
+		t.Fatal("non-decider accepted")
+	}
+}
+
+type nonDecider struct{}
+
+func (nonDecider) Init(int, int)         {}
+func (nonDecider) Send(int) any          { return struct{}{} }
+func (nonDecider) Transition(int, []any) {}
+
+func TestOutcomeString(t *testing.T) {
+	oc := figureOutcome(t)
+	s := oc.String()
+	for _, want := range []string{"6 processes", "p1", "decided"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+	oc.Decided[5] = false
+	if !strings.Contains(oc.String(), "UNDECIDED") {
+		t.Fatal("undecided not rendered")
+	}
+}
+
+func TestMaxDecisionRoundEmpty(t *testing.T) {
+	oc := &Outcome{N: 2, Decided: []bool{false, false}, DecideRounds: []int{0, 0}, Decisions: []int64{0, 0}}
+	if oc.MaxDecisionRound() != 0 {
+		t.Fatal("MaxDecisionRound of undecided run should be 0")
+	}
+	if got := oc.DistinctDecisions(); len(got) != 0 {
+		t.Fatalf("DistinctDecisions = %v", got)
+	}
+}
