@@ -21,6 +21,7 @@ import (
 	"kset/internal/graph"
 	"kset/internal/predicate"
 	"kset/internal/sim"
+	"kset/internal/skeleton"
 	"kset/internal/wire"
 )
 
@@ -293,6 +294,98 @@ func BenchmarkRoundTransition(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkHotTransition measures one full round of Algorithm 1 on a
+// complete graph — the zero-allocation steady state of the round engine
+// (CI runs every BenchmarkHot* as a smoke test).
+func BenchmarkHotTransition(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			procs := make([]*core.Process, n)
+			factory := core.NewFactory(sim.SeqProposals(n), core.Options{})
+			for i := range procs {
+				procs[i] = factory(i).(*core.Process)
+				procs[i].Init(i, n)
+			}
+			msgs := make([]any, n)
+			r := 0
+			round := func() {
+				r++
+				for j, p := range procs {
+					msgs[j] = p.Send(r)
+				}
+				for _, p := range procs {
+					p.Transition(r, msgs)
+				}
+			}
+			for i := 0; i < 2*n+2; i++ {
+				round() // reach the decided steady state
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+		})
+	}
+}
+
+// BenchmarkHotPruneInPlace measures the matrix-native line-25 prune with
+// a warm scratch.
+func BenchmarkHotPruneInPlace(b *testing.B) {
+	for _, n := range []int{8, 32, 64} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(31))
+			g := graph.NewLabeled(n)
+			for i := 0; i < 3*n; i++ {
+				g.MergeEdge(rng.Intn(n), rng.Intn(n), 1+rng.Intn(9))
+			}
+			work := g.Clone()
+			var s graph.ReachScratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(g)
+				work.PruneUnreachableToInPlace(0, &s)
+			}
+		})
+	}
+}
+
+// BenchmarkHotStronglyConnected measures the matrix-native line-28
+// connectivity test with a warm scratch.
+func BenchmarkHotStronglyConnected(b *testing.B) {
+	for _, n := range []int{8, 32, 64} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			g := graph.NewLabeled(n)
+			for v := 0; v < n; v++ {
+				g.MergeEdge(v, (v+1)%n, 1)
+			}
+			var s graph.ReachScratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !g.StronglyConnectedInto(&s) {
+					b.Fatal("cycle not strongly connected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotSkeletonObserve measures the skeleton tracker's word-level
+// intersection in the post-stabilization regime.
+func BenchmarkHotSkeletonObserve(b *testing.B) {
+	n := 64
+	g := kset.CompleteDigraph(n)
+	tr := skeleton.NewTracker(n, false)
+	tr.Observe(1, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(i+2, g)
 	}
 }
 

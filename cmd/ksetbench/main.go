@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	ksetbench [-quick] [-trials N] [-seed S] [-only E5]
+//	ksetbench [-quick] [-trials N] [-seed S] [-only E5] [-json]
+//
+// With -json the suite is emitted as one JSON document instead of text
+// tables, so CI and future PRs can record BENCH_*.json trajectory files:
+//
+//	go run ./cmd/ksetbench -quick -json > BENCH_run.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +22,26 @@ import (
 	"kset/internal/experiments"
 )
 
+// jsonExperiment is one experiment record of the -json output.
+type jsonExperiment struct {
+	ID         string     `json:"id"`
+	Name       string     `json:"name"`
+	Seconds    float64    `json:"seconds"`
+	Violations int        `json:"violations"`
+	Notes      []string   `json:"notes,omitempty"`
+	Header     []string   `json:"header,omitempty"`
+	Rows       [][]string `json:"rows,omitempty"`
+}
+
+// jsonSuite is the top-level -json document.
+type jsonSuite struct {
+	Suite       string           `json:"suite"`
+	Trials      int              `json:"trials"`
+	Seed        int64            `json:"seed"`
+	Experiments []jsonExperiment `json:"experiments"`
+	Failures    int              `json:"failures"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ksetbench: ")
@@ -23,7 +49,8 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced trial counts")
 		trials = flag.Int("trials", 0, "override trials per cell")
 		seed   = flag.Int64("seed", 0, "override experiment seed")
-		only   = flag.String("only", "", "run only the experiment with this prefix (e.g. E5)")
+		only   = flag.String("only", "", "run only the experiment with this id (e.g. E5)")
+		asJSON = flag.Bool("json", false, "emit one JSON document instead of text tables")
 	)
 	flag.Parse()
 
@@ -57,30 +84,66 @@ func main() {
 		{"E12", func() (*experiments.Result, error) { return experiments.E12Mobile(cfg) }},
 	}
 
-	fmt.Printf("k-set agreement with stable skeleton graphs — reproduction suite\n")
-	fmt.Printf("trials/cell=%d seed=%d\n\n", cfg.Trials, cfg.Seed)
-	failures := 0
+	suite := jsonSuite{
+		Suite:  "k-set agreement with stable skeleton graphs — reproduction suite",
+		Trials: cfg.Trials,
+		Seed:   cfg.Seed,
+	}
+	if !*asJSON {
+		fmt.Printf("%s\n", suite.Suite)
+		fmt.Printf("trials/cell=%d seed=%d\n\n", cfg.Trials, cfg.Seed)
+	}
+	ran := 0
 	for _, s := range steps {
 		if *only != "" && s.id != *only {
 			continue
 		}
+		ran++
 		start := time.Now()
 		res, err := s.run()
 		if err != nil {
 			log.Fatalf("%s: %v", s.id, err)
 		}
-		fmt.Printf("=== %s (%.1fs)\n", res.Name, time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		if res.Violations != 0 {
+			suite.Failures++
+		}
+		if *asJSON {
+			rec := jsonExperiment{
+				ID:         s.id,
+				Name:       res.Name,
+				Seconds:    secs,
+				Violations: res.Violations,
+				Notes:      res.Notes,
+			}
+			if res.Table != nil {
+				rec.Header = res.Table.Header
+				rec.Rows = res.Table.Rows()
+			}
+			suite.Experiments = append(suite.Experiments, rec)
+			continue
+		}
+		fmt.Printf("=== %s (%.1fs)\n", res.Name, secs)
 		fmt.Println(res.Table.Render())
 		for _, note := range res.Notes {
 			fmt.Printf("  note: %s\n", note)
 		}
 		if res.Violations != 0 {
 			fmt.Printf("  *** %d VIOLATIONS ***\n", res.Violations)
-			failures++
 		}
 		fmt.Println()
 	}
-	if failures > 0 {
+	if ran == 0 {
+		log.Fatalf("-only %s matches no experiment (have E1..E12)", *only)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(suite); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if suite.Failures > 0 {
 		os.Exit(1)
 	}
 }

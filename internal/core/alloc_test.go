@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"kset/internal/adversary"
+)
+
+// Allocation-regression tests: the per-round hot path (Send + Transition)
+// must be allocation-free in steady state, so sweeps of thousands of
+// trials are not dominated by GC churn. If one of these starts failing, a
+// change reintroduced per-round garbage — fix the change, don't relax the
+// test. See DESIGN.md §4.
+
+// runRound executes one full round of Algorithm 1 on a complete
+// communication graph: every process sends, every process receives every
+// message (complete graphs include all self-loops, so the recv vector is
+// the message vector itself).
+func runRound(r int, procs []*Process, msgs []any) {
+	for i, p := range procs {
+		msgs[i] = p.Send(r)
+	}
+	for _, p := range procs {
+		p.Transition(r, msgs)
+	}
+}
+
+func TestTransitionAllocsPerRun(t *testing.T) {
+	for _, n := range []int{8, 32} {
+		props := make([]int64, n)
+		for i := range props {
+			props[i] = int64(i + 1)
+		}
+		procs := make([]*Process, n)
+		for i := range procs {
+			procs[i] = NewWithOptions(props[i], Options{})
+			procs[i].Init(i, n)
+		}
+		msgs := make([]any, n)
+		// Warm up past the decision round (r >= n on a complete graph)
+		// so the measured rounds exercise the decided steady state, with
+		// all scratch buffers at their final size.
+		r := 0
+		for i := 0; i < 2*n+2; i++ {
+			r++
+			runRound(r, procs, msgs)
+		}
+		for _, p := range procs {
+			if !p.Decided() {
+				t.Fatalf("n=%d: process %d undecided after warmup", n, p.Self())
+			}
+		}
+		avg := testing.AllocsPerRun(50, func() {
+			r++
+			runRound(r, procs, msgs)
+		})
+		if avg != 0 {
+			t.Errorf("n=%d: %v allocs per steady-state round (all %d Sends + Transitions), want 0", n, avg, n)
+		}
+	}
+}
+
+// TestTransitionAllocsUndecided pins the pre-decision path too: sparse
+// connectivity keeps the approximation from becoming strongly connected,
+// so every measured round runs lines 26-28 including the connectivity
+// test.
+func TestTransitionAllocsUndecided(t *testing.T) {
+	n := 8
+	// A single directed ring edge pattern that never becomes strongly
+	// connected from the receivers' pruned perspective fast enough:
+	// use the Theorem 2 lower-bound run, which keeps some processes
+	// undecided for many rounds.
+	adv := adversary.LowerBound(n, 3)
+	procs := make([]*Process, n)
+	for i := range procs {
+		procs[i] = NewWithOptions(int64(i+1), Options{})
+		procs[i].Init(i, n)
+	}
+	msgs := make([]any, n)
+	recv := make([]any, n)
+	r := 0
+	round := func() {
+		r++
+		g := adv.Graph(r)
+		for i, p := range procs {
+			msgs[i] = p.Send(r)
+		}
+		for q := 0; q < n; q++ {
+			for j := range recv {
+				recv[j] = nil
+			}
+			g.ForEachIn(q, func(p int) { recv[p] = msgs[p] })
+			procs[q].Transition(r, recv)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		round()
+	}
+	avg := testing.AllocsPerRun(20, round)
+	if avg != 0 {
+		t.Errorf("%v allocs per round on the lower-bound run, want 0", avg)
+	}
+}

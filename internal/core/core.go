@@ -45,8 +45,12 @@ func (k Kind) String() string {
 	return "prop"
 }
 
-// Message is the round message (tag, xp, Gp). The graph is a snapshot
-// owned by the sender's past; receivers must treat it as immutable.
+// Message is the round message (tag, xp, Gp). Senders reuse message and
+// graph storage across rounds (Process double-buffers both), so receivers
+// must treat a message as immutable and must not retain it — or its graph
+// — beyond the round it was delivered in; copy what must outlive the
+// round. Both executors guarantee a sender never rewrites storage before
+// every round-r reader has finished its round-r transition.
 type Message struct {
 	Kind Kind
 	X    int64
@@ -117,10 +121,18 @@ type Process struct {
 
 	pt      graph.NodeSet  // PTp (line 1)
 	x       int64          // xp (line 2)
-	g       *graph.Labeled // Gp (line 3)
+	g       *graph.Labeled // Gp (line 3), current buffer
 	decided bool           // decidedp (line 4)
 	via     Via
 	decideR int
+
+	// Steady-state scratch: Transition and Send reuse this storage every
+	// round instead of allocating, which keeps the simulator's hot path
+	// garbage-free (see DESIGN.md §4).
+	next  *graph.Labeled     // double buffer: the round-r rebuild target
+	heard graph.NodeSet      // line-9 sender set
+	reach graph.ReachScratch // prune (line 25) + connectivity (line 28)
+	msgs  [2]Message         // ping-pong broadcast buffers for Send
 }
 
 var _ rounds.Algorithm = (*Process)(nil)
@@ -158,29 +170,46 @@ func (p *Process) Init(self, n int) {
 	p.x = p.proposal            // xp := vp
 	p.g = graph.NewLabeled(n)   // Gp := ⟨{p}, ∅⟩
 	p.g.AddNode(self)
+	p.next = graph.NewLabeled(n)
+	p.heard = graph.NewNodeSet(n)
+	p.reach = graph.ReachScratch{}
+	p.msgs = [2]Message{}
 	p.decided = false
 	p.via = ViaNone
 }
 
-// Send implements rounds.Algorithm (lines 5-8).
+// Send implements rounds.Algorithm (lines 5-8). It returns a *Message
+// drawn from a two-buffer ping-pong (round r uses buffer r mod 2), so the
+// per-round broadcast boxes a pointer instead of copying the message into
+// a fresh interface allocation. Reusing buffer r mod 2 is safe in both
+// executors: it was last exposed to readers in round r-2, and every
+// round-(r-2) transition completes before any process sends for round r.
 func (p *Process) Send(r int) any {
-	kind := Prop
+	m := &p.msgs[r&1]
+	m.Kind = Prop
 	if p.decided {
-		kind = Decide
+		m.Kind = Decide
 	}
-	return Message{Kind: kind, X: p.x, G: p.g}
+	m.X = p.x
+	m.G = p.g
+	return m
 }
 
-// Transition implements rounds.Algorithm (lines 9-30).
+// Transition implements rounds.Algorithm (lines 9-30). recv entries are
+// *Message values (or nil for dropped edges). The rebuild of lines 14-25
+// writes into the spare half of a double buffer and swaps, so the graph
+// broadcast in round r stays intact for its readers while round r+1 is
+// computed; with the persistent scratch state this makes steady-state
+// transitions allocation-free (pinned by TestTransitionAllocsPerRun).
 func (p *Process) Transition(r int, recv []any) {
 	// Line 9: update PTp — intersect with this round's senders.
-	heard := graph.NewNodeSet(p.n)
+	p.heard.Clear()
 	for q, m := range recv {
 		if m != nil {
-			heard.Add(q)
+			p.heard.Add(q)
 		}
 	}
-	p.pt.IntersectWith(heard)
+	p.pt.IntersectWith(p.heard)
 	if !p.pt.Has(p.self) {
 		panic("core: process lost itself from PT (model requires self-loops)")
 	}
@@ -192,7 +221,7 @@ func (p *Process) Transition(r int, recv []any) {
 		adopted := false
 		var best int64
 		p.pt.ForEach(func(q int) {
-			m := recv[q].(Message)
+			m := recv[q].(*Message)
 			if m.Kind != Decide {
 				return
 			}
@@ -208,8 +237,11 @@ func (p *Process) Transition(r int, recv []any) {
 		}
 	}
 
-	// Lines 14-25: rebuild the approximation graph.
-	ng := graph.NewLabeled(p.n)
+	// Lines 14-25: rebuild the approximation graph into the spare buffer
+	// (never into p.g — that graph is still being read by this round's
+	// receivers), then swap.
+	ng := p.next
+	ng.Reset()
 	ng.AddNode(p.self) // line 15: Gp := ⟨{p}, ∅⟩
 	p.pt.ForEach(func(q int) {
 		ng.MergeEdge(q, p.self, r) // line 17: (q -r-> p)
@@ -219,21 +251,19 @@ func (p *Process) Transition(r int, recv []any) {
 			// through timely neighbors.
 			return
 		}
-		gq := recv[q].(Message).G
-		gq.Nodes().ForEach(func(v int) { ng.AddNode(v) }) // line 18: Vp ∪= Vq
-		gq.ForEachEdge(func(u, v, label int) {            // lines 19-23: max-merge
-			ng.MergeEdge(u, v, label)
-		})
+		// Lines 18-23: Vp ∪= Vq and per-edge max-merge, as one
+		// matrix-level pass.
+		ng.MergeFrom(recv[q].(*Message).G)
 	})
-	ng.PurgeOlderThan(r - p.purge) // line 24
-	ng.PruneUnreachableTo(p.self)  // line 25
-	p.g = ng
+	ng.PurgeOlderThan(r - p.purge)                 // line 24
+	ng.PruneUnreachableToInPlace(p.self, &p.reach) // line 25
+	p.g, p.next = ng, p.g
 
 	// Lines 26-30: update the estimate and try to decide.
 	if !p.decided {
 		first := true
 		p.pt.ForEach(func(q int) { // line 27: xp := min over timely senders
-			v := recv[q].(Message).X
+			v := recv[q].(*Message).X
 			if first || v < p.x {
 				p.x = v
 			}
@@ -243,7 +273,7 @@ func (p *Process) Transition(r int, recv []any) {
 		if p.opts.ConservativeDecide {
 			floor = 2*p.n - 1 // repaired guard, see Options.ConservativeDecide
 		}
-		if r >= floor && p.g.StronglyConnected() {
+		if r >= floor && p.g.StronglyConnectedInto(&p.reach) {
 			p.decided = true // lines 29-30
 			p.via = ViaConnectivity
 			p.decideR = r

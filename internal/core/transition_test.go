@@ -11,18 +11,18 @@ import (
 // line by line, independent of any executor or adversary.
 
 // msg builds a prop message with the given estimate and graph edges.
-func msg(n int, x int64, edges ...[3]int) Message {
+func msg(n int, x int64, edges ...[3]int) *Message {
 	g := graph.NewLabeled(n)
 	for _, e := range edges {
 		g.MergeEdge(e[0], e[1], e[2])
 	}
-	return Message{Kind: Prop, X: x, G: g}
+	return &Message{Kind: Prop, X: x, G: g}
 }
 
 // decideMsg builds a decide message.
-func decideMsg(n int, x int64) Message {
+func decideMsg(n int, x int64) *Message {
 	g := graph.NewLabeled(n)
-	return Message{Kind: Decide, X: x, G: g}
+	return &Message{Kind: Decide, X: x, G: g}
 }
 
 func newProc(t *testing.T, self, n int, proposal int64, opts Options) *Process {
@@ -194,14 +194,14 @@ func TestTransitionSelfLossPanics(t *testing.T) {
 
 func TestSendKindFollowsDecision(t *testing.T) {
 	p := newProc(t, 0, 1, 7, Options{})
-	if p.Send(1).(Message).Kind != Prop {
+	if p.Send(1).(*Message).Kind != Prop {
 		t.Fatal("undecided process must send prop")
 	}
 	p.Transition(1, []any{p.Send(1)})
 	if !p.Decided() {
 		t.Fatal("singleton must decide at round 1")
 	}
-	if p.Send(2).(Message).Kind != Decide {
+	if p.Send(2).(*Message).Kind != Decide {
 		t.Fatal("decided process must send decide")
 	}
 }

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation-regression tests for the in-place graph kernels: once their
+// scratch is warm, the hot-path operations must not allocate. See
+// DESIGN.md §4.
+
+func TestPruneUnreachableToInPlaceAllocs(t *testing.T) {
+	for _, n := range []int{8, 32} {
+		rng := rand.New(rand.NewSource(21))
+		g := NewLabeled(n)
+		work := NewLabeled(n)
+		for i := 0; i < 3*n; i++ {
+			g.MergeEdge(rng.Intn(n), rng.Intn(n), 1+rng.Intn(9))
+		}
+		var s ReachScratch
+		work.CopyFrom(g)
+		work.PruneUnreachableToInPlace(0, &s) // warm the scratch
+		avg := testing.AllocsPerRun(50, func() {
+			work.CopyFrom(g)
+			work.PruneUnreachableToInPlace(0, &s)
+		})
+		if avg != 0 {
+			t.Errorf("n=%d: %v allocs per prune, want 0", n, avg)
+		}
+	}
+}
+
+func TestStronglyConnectedIntoAllocs(t *testing.T) {
+	for _, n := range []int{8, 32} {
+		g := NewLabeled(n)
+		for v := 0; v < n; v++ {
+			g.MergeEdge(v, (v+1)%n, 1) // a directed cycle: strongly connected
+		}
+		var s ReachScratch
+		if !g.StronglyConnectedInto(&s) {
+			t.Fatalf("n=%d: cycle not strongly connected", n)
+		}
+		avg := testing.AllocsPerRun(50, func() {
+			if !g.StronglyConnectedInto(&s) {
+				t.Fatal("cycle not strongly connected")
+			}
+		})
+		if avg != 0 {
+			t.Errorf("n=%d: %v allocs per connectivity check, want 0", n, avg)
+		}
+	}
+}
+
+func TestDigraphIntersectWithAllocs(t *testing.T) {
+	n := 32
+	rng := rand.New(rand.NewSource(22))
+	g := RandomDigraph(n, 0.3, rng)
+	h := RandomDigraph(n, 0.3, rng)
+	work := g.Clone()
+	work.IntersectWith(h)
+	avg := testing.AllocsPerRun(50, func() {
+		// Steady state: work already is g ∩ h, so re-intersecting with h
+		// removes nothing; this is exactly the skeleton tracker's
+		// post-stabilization regime.
+		if work.IntersectWith(h) {
+			t.Fatal("stable intersection changed")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("%v allocs per stable IntersectWith, want 0", avg)
+	}
+}
+
+func TestSCCScratchReuseAllocs(t *testing.T) {
+	// With a warm scratch, Tarjan allocates only the component sets (one
+	// NodeSet per component: 2 allocs each — header slice + words) and
+	// the comps slice itself.
+	n := 64
+	g := NewDigraph(n)
+	for v := 0; v < n; v++ {
+		g.AddNode(v)
+		g.AddEdge(v, (v+1)%n)
+	}
+	var s SCCScratch
+	comps := s.SCC(g)
+	if len(comps) != 1 {
+		t.Fatalf("cycle has %d components, want 1", len(comps))
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if len(s.SCC(g)) != 1 {
+			t.Fatal("component count changed")
+		}
+	})
+	// One component: its NodeSet (struct is returned in a slice — the
+	// words allocation) plus the comps slice. Allow a small constant,
+	// reject anything scaling with n (the pre-scratch version allocated
+	// 4+ slices of length n plus n Elems() slices).
+	if avg > 4 {
+		t.Errorf("%v allocs per SCC with warm scratch, want <= 4", avg)
+	}
+}
+
+func TestNewDigraphAllocs(t *testing.T) {
+	// Arena construction: struct + NodeSet backing + one flat word arena.
+	avg := testing.AllocsPerRun(50, func() {
+		if NewDigraph(64).N() != 64 {
+			t.Fatal("bad universe")
+		}
+	})
+	if avg > 3 {
+		t.Errorf("NewDigraph(64) costs %v allocs, want <= 3", avg)
+	}
+}

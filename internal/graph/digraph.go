@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -26,20 +27,28 @@ type Digraph struct {
 }
 
 // NewDigraph returns an empty graph over the universe 0..n-1 with no nodes
-// present.
+// present. All 2n+1 node sets (present, out, in) share one flat []uint64
+// arena, so construction costs three allocations instead of 2n+2; the
+// full-capacity reslices confine each set to its arena slot even if it is
+// later grown through append.
 func NewDigraph(n int) *Digraph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative universe size %d", n))
 	}
+	words := (n + wordBits - 1) / wordBits
+	sets := make([]NodeSet, 2*n)
+	arena := make([]uint64, (2*n+1)*words)
 	g := &Digraph{
 		n:       n,
-		present: NewNodeSet(n),
-		out:     make([]NodeSet, n),
-		in:      make([]NodeSet, n),
+		present: NodeSet{words: arena[0:words:words]},
+		out:     sets[:n:n],
+		in:      sets[n:],
 	}
 	for i := 0; i < n; i++ {
-		g.out[i] = NewNodeSet(n)
-		g.in[i] = NewNodeSet(n)
+		lo := (1 + i) * words
+		g.out[i] = NodeSet{words: arena[lo : lo+words : lo+words]}
+		lo = (1 + n + i) * words
+		g.in[i] = NodeSet{words: arena[lo : lo+words : lo+words]}
 	}
 	return g
 }
@@ -136,6 +145,15 @@ func (g *Digraph) InNeighbors(v int) NodeSet {
 	return g.in[v].Clone()
 }
 
+// HasCommonInNeighbor reports whether some process sends to both q and
+// qq, i.e. PT(q) ∩ PT(qq) ≠ ∅ when g is a skeleton. Unlike intersecting
+// the InNeighbors copies, this compares the stored bitsets directly.
+func (g *Digraph) HasCommonInNeighbor(q, qq int) bool {
+	g.check(q)
+	g.check(qq)
+	return g.in[q].Intersects(g.in[qq])
+}
+
 // ForEachOut calls fn for every out-neighbor of v in ascending order.
 func (g *Digraph) ForEachOut(v int, fn func(w int)) {
 	g.check(v)
@@ -185,17 +203,13 @@ func (g *Digraph) AddSelfLoops() {
 	g.present.ForEach(func(v int) { g.AddEdge(v, v) })
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, arena-backed like NewDigraph.
 func (g *Digraph) Clone() *Digraph {
-	c := &Digraph{
-		n:       g.n,
-		present: g.present.Clone(),
-		out:     make([]NodeSet, g.n),
-		in:      make([]NodeSet, g.n),
-	}
+	c := NewDigraph(g.n)
+	c.present.CopyFrom(g.present)
 	for i := 0; i < g.n; i++ {
-		c.out[i] = g.out[i].Clone()
-		c.in[i] = g.in[i].Clone()
+		c.out[i].CopyFrom(g.out[i])
+		c.in[i].CopyFrom(g.in[i])
 	}
 	return c
 }
@@ -230,24 +244,45 @@ func (g *Digraph) Intersect(h *Digraph) *Digraph {
 }
 
 // IntersectWith replaces g by g ∩ h in place and reports whether g changed.
-// This is the hot operation of skeleton maintenance (E^∩r = ⋂ E^r').
+// This is the hot operation of skeleton maintenance (E^∩r = ⋂ E^r'); it
+// works word-by-word on the bitsets and allocates nothing.
 func (g *Digraph) IntersectWith(h *Digraph) bool {
 	if g.n != h.n {
 		panic(fmt.Sprintf("graph: intersect over different universes %d and %d", g.n, h.n))
 	}
 	changed := false
-	if !g.present.SubsetOf(h.present) {
-		removed := g.present.Subtract(h.present)
-		removed.ForEach(func(v int) { g.RemoveNode(v) })
-		changed = true
-	}
-	g.present.ForEach(func(u int) {
-		extra := g.out[u].Subtract(h.out[u])
-		extra.ForEach(func(v int) {
-			g.RemoveEdge(u, v)
+	// Drop nodes absent from h, with their incident edges.
+	for i := range g.present.words {
+		var hw uint64
+		if i < len(h.present.words) {
+			hw = h.present.words[i]
+		}
+		rem := g.present.words[i] &^ hw
+		for rem != 0 {
+			b := bits.TrailingZeros64(rem)
+			rem &^= 1 << b
+			g.RemoveNode(i*wordBits + b)
 			changed = true
-		})
-	})
+		}
+	}
+	// Drop edges absent from h.
+	for u := g.present.Next(0); u >= 0; u = g.present.Next(u + 1) {
+		ow := g.out[u].words
+		hw := h.out[u].words
+		for i := range ow {
+			var hwi uint64
+			if i < len(hw) {
+				hwi = hw[i]
+			}
+			extra := ow[i] &^ hwi
+			for extra != 0 {
+				b := bits.TrailingZeros64(extra)
+				extra &^= 1 << b
+				g.RemoveEdge(u, i*wordBits+b)
+				changed = true
+			}
+		}
+	}
 	return changed
 }
 

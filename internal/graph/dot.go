@@ -29,7 +29,7 @@ func DOT(g *Digraph, name string, omitSelfLoops bool) string {
 func DOTLabeled(g *Labeled, name string, omitSelfLoops bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
-	g.Nodes().ForEach(func(v int) {
+	g.ForEachNode(func(v int) {
 		fmt.Fprintf(&b, "  p%d;\n", v+1)
 	})
 	g.ForEachEdge(func(u, v, l int) {

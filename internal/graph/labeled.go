@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -135,14 +136,37 @@ func (g *Labeled) Edges() []LabeledEdge {
 	return out
 }
 
-// ForEachEdge calls fn for every labeled edge in (from, to) order.
+// ForEachEdge calls fn for every labeled edge in (from, to) order. Only
+// rows of present nodes are scanned (edges exist only between present
+// nodes — MergeEdge adds endpoints, RemoveNode clears its row and
+// column), which word-skips the empty part of the matrix.
 func (g *Labeled) ForEachEdge(fn func(u, v, label int)) {
-	for u := 0; u < g.n; u++ {
+	for u := g.present.Next(0); u >= 0; u = g.present.Next(u + 1) {
 		row := g.labels[u*g.n : (u+1)*g.n]
 		for v, l := range row {
 			if l != 0 {
 				fn(u, v, l)
 			}
+		}
+	}
+}
+
+// ForEachNode calls fn for every present node in ascending order.
+func (g *Labeled) ForEachNode(fn func(v int)) { g.present.ForEach(fn) }
+
+// MergeFrom merges every node and edge of src into g, keeping the maximum
+// label per ordered pair: Algorithm 1 lines 18-23 for one received graph,
+// as one word-level present union plus one element-wise max over the
+// label matrices. It allocates nothing.
+func (g *Labeled) MergeFrom(src *Labeled) {
+	if g.n != src.n {
+		panic(fmt.Sprintf("graph: MergeFrom universe mismatch %d vs %d", g.n, src.n))
+	}
+	g.present.UnionWith(src.present)
+	dst := g.labels
+	for i, l := range src.labels {
+		if l > dst[i] {
+			dst[i] = l
 		}
 	}
 }
@@ -174,18 +198,29 @@ func (g *Labeled) Unlabeled() *Digraph {
 // is unreachable: Algorithm 1 line 25. p itself is always kept. It returns
 // the number of nodes removed.
 func (g *Labeled) PruneUnreachableTo(p int) int {
+	var s ReachScratch
+	return g.PruneUnreachableToInPlace(p, &s)
+}
+
+// PruneUnreachableToInPlace is PruneUnreachableTo with caller-owned
+// scratch. It runs directly on the label matrix — reverse reachability
+// from p word-scans the present bitset for in-neighbors — so no
+// intermediate Digraph is materialized and steady-state calls allocate
+// nothing.
+func (g *Labeled) PruneUnreachableToInPlace(p int, s *ReachScratch) int {
 	g.check(p)
-	if !g.present.Has(p) {
-		g.present.Add(p)
-	}
-	keep := NodesReaching(g.Unlabeled(), p)
+	g.present.Add(p)
+	g.reverseReachInto(p, s)
 	removed := 0
-	g.present.Clone().ForEach(func(v int) {
-		if v != p && !keep.Has(v) {
-			g.RemoveNode(v)
+	for i, word := range g.present.words {
+		dead := word &^ s.seen.words[i]
+		for dead != 0 {
+			b := bits.TrailingZeros64(dead)
+			dead &^= 1 << b
+			g.RemoveNode(i*wordBits + b)
 			removed++
 		}
-	})
+	}
 	return removed
 }
 
@@ -193,7 +228,76 @@ func (g *Labeled) PruneUnreachableTo(p int) int {
 // connected component: the decision test of Algorithm 1 line 28. A single
 // present node is strongly connected.
 func (g *Labeled) StronglyConnected() bool {
-	return StronglyConnected(g.Unlabeled())
+	var s ReachScratch
+	return g.StronglyConnectedInto(&s)
+}
+
+// StronglyConnectedInto is StronglyConnected with caller-owned scratch.
+// It runs directly on the label matrix: a forward reachability pass over
+// the rows and a backward pass over the columns from the smallest present
+// node, each compared word-wise against the present bitset. No Digraph is
+// materialized and steady-state calls allocate nothing.
+func (g *Labeled) StronglyConnectedInto(s *ReachScratch) bool {
+	first := g.present.Min()
+	if first < 0 {
+		return false
+	}
+	// Forward pass: everything first reaches, following rows.
+	g.forwardReachInto(first, s)
+	if !s.seen.Equal(g.present) {
+		return false
+	}
+	// Backward pass: everything reaching first, following columns.
+	g.reverseReachInto(first, s)
+	return s.seen.Equal(g.present)
+}
+
+// forwardReachInto fills s.seen with every present node reachable from
+// start along label-matrix rows (out-edges).
+func (g *Labeled) forwardReachInto(start int, s *ReachScratch) {
+	s.reset(g.n)
+	s.seen.Add(start)
+	s.stack = append(s.stack, start)
+	for len(s.stack) > 0 {
+		u := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		row := g.labels[u*g.n : (u+1)*g.n]
+		for i, word := range g.present.words {
+			cand := word &^ s.seen.words[i]
+			for cand != 0 {
+				b := bits.TrailingZeros64(cand)
+				cand &^= 1 << b
+				if row[i*wordBits+b] != 0 {
+					s.seen.words[i] |= 1 << b
+					s.stack = append(s.stack, i*wordBits+b)
+				}
+			}
+		}
+	}
+}
+
+// reverseReachInto fills s.seen with every present node that reaches
+// start, following label-matrix columns (in-edges).
+func (g *Labeled) reverseReachInto(start int, s *ReachScratch) {
+	s.reset(g.n)
+	s.seen.Add(start)
+	s.stack = append(s.stack, start)
+	for len(s.stack) > 0 {
+		u := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		for i, word := range g.present.words {
+			cand := word &^ s.seen.words[i]
+			for cand != 0 {
+				b := bits.TrailingZeros64(cand)
+				cand &^= 1 << b
+				w := i*wordBits + b
+				if g.labels[w*g.n+u] != 0 {
+					s.seen.words[i] |= 1 << b
+					s.stack = append(s.stack, w)
+				}
+			}
+		}
+	}
 }
 
 // Clone returns a deep copy.
@@ -207,12 +311,14 @@ func (g *Labeled) Clone() *Labeled {
 	return c
 }
 
-// CopyFrom overwrites g with the contents of src (same universe required).
+// CopyFrom overwrites g with the contents of src (same universe
+// required), reusing the receiver's present-set words and label matrix so
+// repeated copies allocate nothing.
 func (g *Labeled) CopyFrom(src *Labeled) {
 	if g.n != src.n {
 		panic(fmt.Sprintf("graph: CopyFrom universe mismatch %d vs %d", g.n, src.n))
 	}
-	g.present = src.present.Clone()
+	g.present.CopyFrom(src.present)
 	copy(g.labels, src.labels)
 }
 

@@ -116,6 +116,17 @@ func (s NodeSet) Clone() NodeSet {
 	return NodeSet{words: w}
 }
 
+// CopyFrom overwrites s with the contents of t, reusing s's storage when
+// it is large enough. Hot paths use this instead of Clone to stay
+// allocation-free in steady state.
+func (s *NodeSet) CopyFrom(t NodeSet) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	}
+	s.words = s.words[:len(t.words)]
+	copy(s.words, t.words)
+}
+
 // Clear removes all elements, keeping the universe size.
 func (s *NodeSet) Clear() {
 	for i := range s.words {
@@ -237,6 +248,28 @@ func (s NodeSet) Elems() []int {
 	out := make([]int, 0, s.Len())
 	s.ForEach(func(v int) { out = append(out, v) })
 	return out
+}
+
+// Next returns the smallest element >= from, or -1 if there is none.
+// Iterating with Next avoids the closure of ForEach and the slice of
+// Elems, so traversals can run without allocating.
+func (s NodeSet) Next(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	i := from / wordBits
+	if i >= len(s.words) {
+		return -1
+	}
+	if w := s.words[i] >> (from % wordBits); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i++; i < len(s.words); i++ {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // Min returns the smallest node in the set, or -1 if empty.

@@ -1,49 +1,100 @@
 package graph
 
+import "math/bits"
+
+// ReachScratch holds the reusable traversal state (visited bitset plus
+// DFS stack) of the reachability and connectivity kernels, so per-round
+// calls allocate nothing in steady state. The zero value is ready to use,
+// and one scratch may serve graphs of different universe sizes: reset
+// regrows it on demand and reuses the storage otherwise.
+type ReachScratch struct {
+	seen  NodeSet
+	stack []int
+}
+
+// reset prepares the scratch for one traversal over a universe of n
+// nodes: the visited set is sized and cleared, the stack emptied.
+func (s *ReachScratch) reset(n int) {
+	w := (n + wordBits - 1) / wordBits
+	if cap(s.seen.words) < w {
+		s.seen.words = make([]uint64, w)
+	}
+	s.seen.words = s.seen.words[:w]
+	s.seen.Clear()
+	if cap(s.stack) < n {
+		s.stack = make([]int, 0, n)
+	}
+	s.stack = s.stack[:0]
+}
+
 // Reachable returns the set of present nodes reachable from v by a
 // directed path of length >= 0 (v itself included). It panics if v is not
 // present.
 func Reachable(g *Digraph, v int) NodeSet {
+	var s ReachScratch
+	ReachableInto(g, v, &s)
+	return s.seen
+}
+
+// ReachableInto is Reachable with caller-owned scratch: the returned set
+// is the scratch's visited set and stays valid only until the scratch is
+// reused.
+func ReachableInto(g *Digraph, v int, s *ReachScratch) NodeSet {
 	if !g.HasNode(v) {
 		panic("graph: Reachable from absent node")
 	}
-	seen := NewNodeSet(g.N())
-	seen.Add(v)
-	stack := []int{v}
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		g.out[u].ForEach(func(w int) {
-			if !seen.Has(w) {
-				seen.Add(w)
-				stack = append(stack, w)
+	s.reset(g.N())
+	s.seen.Add(v)
+	s.stack = append(s.stack, v)
+	for len(s.stack) > 0 {
+		u := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		for i, w := range g.out[u].words {
+			cand := w &^ s.seen.words[i]
+			for cand != 0 {
+				x := bits.TrailingZeros64(cand)
+				cand &^= 1 << x
+				s.seen.words[i] |= 1 << x
+				s.stack = append(s.stack, i*wordBits+x)
 			}
-		})
+		}
 	}
-	return seen
+	return s.seen
 }
 
 // NodesReaching returns the set of present nodes that can reach v by a
 // directed path of length >= 0 (v itself included). Algorithm 1 line 25
 // keeps exactly these nodes in the approximation graph.
 func NodesReaching(g *Digraph, v int) NodeSet {
+	var s ReachScratch
+	NodesReachingInto(g, v, &s)
+	return s.seen
+}
+
+// NodesReachingInto is NodesReaching with caller-owned scratch: the
+// returned set is the scratch's visited set and stays valid only until
+// the scratch is reused.
+func NodesReachingInto(g *Digraph, v int, s *ReachScratch) NodeSet {
 	if !g.HasNode(v) {
 		panic("graph: NodesReaching on absent node")
 	}
-	seen := NewNodeSet(g.N())
-	seen.Add(v)
-	stack := []int{v}
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		g.in[u].ForEach(func(w int) {
-			if !seen.Has(w) {
-				seen.Add(w)
-				stack = append(stack, w)
+	s.reset(g.N())
+	s.seen.Add(v)
+	s.stack = append(s.stack, v)
+	for len(s.stack) > 0 {
+		u := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		for i, w := range g.in[u].words {
+			cand := w &^ s.seen.words[i]
+			for cand != 0 {
+				x := bits.TrailingZeros64(cand)
+				cand &^= 1 << x
+				s.seen.words[i] |= 1 << x
+				s.stack = append(s.stack, i*wordBits+x)
 			}
-		})
+		}
 	}
-	return seen
+	return s.seen
 }
 
 // CanReach reports whether there is a directed path from u to v.

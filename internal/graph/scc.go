@@ -1,5 +1,42 @@
 package graph
 
+// SCCScratch holds the reusable Tarjan state (index/low/onStack arrays,
+// component stack, and DFS frames), so repeated SCC computations stop
+// allocating traversal storage per call — only the resulting component
+// sets are allocated. The zero value is ready to use; one scratch may
+// serve graphs of different universe sizes.
+type SCCScratch struct {
+	index, low []int
+	onStack    []bool
+	stack      []int
+	frameV     []int // DFS frames: node per frame
+	frameCur   []int // DFS frames: next out-neighbor candidate (resume point)
+}
+
+const sccUnvisited = -1
+
+// reset prepares the scratch for a universe of n nodes.
+func (s *SCCScratch) reset(n int) {
+	if cap(s.index) < n {
+		s.index = make([]int, n)
+		s.low = make([]int, n)
+		s.onStack = make([]bool, n)
+		s.stack = make([]int, 0, n)
+		s.frameV = make([]int, 0, n)
+		s.frameCur = make([]int, 0, n)
+	}
+	s.index = s.index[:n]
+	s.low = s.low[:n]
+	s.onStack = s.onStack[:n]
+	for i := range s.index {
+		s.index[i] = sccUnvisited
+		s.onStack[i] = false
+	}
+	s.stack = s.stack[:0]
+	s.frameV = s.frameV[:0]
+	s.frameCur = s.frameCur[:0]
+}
+
 // SCC computes the strongly connected components of g using Tarjan's
 // algorithm (iterative, so deep graphs cannot overflow the goroutine
 // stack). Components are returned in reverse topological order of the
@@ -7,73 +44,71 @@ package graph
 // into), each as a NodeSet; only present nodes are considered. Components
 // are nonempty and maximal, matching the paper's convention.
 func SCC(g *Digraph) []NodeSet {
+	var s SCCScratch
+	return s.SCC(g)
+}
+
+// SCC is the scratch-reusing variant of the package-level SCC: traversal
+// state lives in s and is reused across calls; only the returned
+// component sets are freshly allocated.
+func (s *SCCScratch) SCC(g *Digraph) []NodeSet {
 	n := g.N()
-	const unvisited = -1
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
-	}
-	var (
-		comps   []NodeSet
-		stack   []int
-		counter int
-	)
+	s.reset(n)
+	var comps []NodeSet
+	counter := 0
 
-	type frame struct {
-		v    int
-		iter []int // remaining out-neighbors to visit
-	}
-
-	var callStack []frame
 	visit := func(root int) {
-		callStack = callStack[:0]
-		index[root] = counter
-		low[root] = counter
+		s.index[root] = counter
+		s.low[root] = counter
 		counter++
-		stack = append(stack, root)
-		onStack[root] = true
-		callStack = append(callStack, frame{v: root, iter: g.out[root].Elems()})
+		s.stack = append(s.stack, root)
+		s.onStack[root] = true
+		s.frameV = append(s.frameV, root)
+		s.frameCur = append(s.frameCur, 0)
 
-		for len(callStack) > 0 {
-			f := &callStack[len(callStack)-1]
+		for len(s.frameV) > 0 {
+			ti := len(s.frameV) - 1
+			v := s.frameV[ti]
 			advanced := false
-			for len(f.iter) > 0 {
-				w := f.iter[0]
-				f.iter = f.iter[1:]
-				if index[w] == unvisited {
-					index[w] = counter
-					low[w] = counter
+			for {
+				w := g.out[v].Next(s.frameCur[ti])
+				if w < 0 {
+					break
+				}
+				s.frameCur[ti] = w + 1
+				if s.index[w] == sccUnvisited {
+					s.index[w] = counter
+					s.low[w] = counter
 					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					callStack = append(callStack, frame{v: w, iter: g.out[w].Elems()})
+					s.stack = append(s.stack, w)
+					s.onStack[w] = true
+					s.frameV = append(s.frameV, w)
+					s.frameCur = append(s.frameCur, 0)
 					advanced = true
 					break
 				}
-				if onStack[w] && index[w] < low[f.v] {
-					low[f.v] = index[w]
+				if s.onStack[w] && s.index[w] < s.low[v] {
+					s.low[v] = s.index[w]
 				}
 			}
 			if advanced {
 				continue
 			}
-			// All neighbors of f.v processed: pop.
-			v := f.v
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				parent := &callStack[len(callStack)-1]
-				if low[v] < low[parent.v] {
-					low[parent.v] = low[v]
+			// All neighbors of v processed: pop.
+			s.frameV = s.frameV[:ti]
+			s.frameCur = s.frameCur[:ti]
+			if ti > 0 {
+				parent := s.frameV[ti-1]
+				if s.low[v] < s.low[parent] {
+					s.low[parent] = s.low[v]
 				}
 			}
-			if low[v] == index[v] {
+			if s.low[v] == s.index[v] {
 				comp := NewNodeSet(n)
 				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
+					w := s.stack[len(s.stack)-1]
+					s.stack = s.stack[:len(s.stack)-1]
+					s.onStack[w] = false
 					comp.Add(w)
 					if w == v {
 						break
@@ -85,7 +120,7 @@ func SCC(g *Digraph) []NodeSet {
 	}
 
 	g.present.ForEach(func(v int) {
-		if index[v] == unvisited {
+		if s.index[v] == sccUnvisited {
 			visit(v)
 		}
 	})

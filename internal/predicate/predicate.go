@@ -15,6 +15,8 @@
 package predicate
 
 import (
+	"math/bits"
+
 	"kset/internal/graph"
 )
 
@@ -57,9 +59,8 @@ func SharesSourceGraph(skel *graph.Digraph) *graph.Digraph {
 	n := skel.N()
 	h := graph.NewFullDigraph(n)
 	for q := 0; q < n; q++ {
-		inQ := skel.InNeighbors(q)
 		for qq := q + 1; qq < n; qq++ {
-			if inQ.Intersects(skel.InNeighbors(qq)) {
+			if skel.HasCommonInNeighbor(q, qq) {
 				h.AddEdge(q, qq)
 				h.AddEdge(qq, q)
 			}
@@ -155,8 +156,16 @@ func HoldsBrute(skel *graph.Digraph, k int) bool {
 // n universe nodes participate, present or not (absent nodes have no
 // edges and are trivially independent). Exponential worst case; intended
 // for the n ≤ 64 range used in experiments.
+//
+// For n ≤ 64 the search runs on single-word bitsets with no allocation
+// per branch node; the branch order (always split on the smallest
+// candidate, include-branch first) is identical to the generic path, so
+// both return the same set.
 func MaxIndependentSet(h *graph.Digraph) graph.NodeSet {
 	n := h.N()
+	if n <= 64 {
+		return maxIndependentSet64(h)
+	}
 	adj := make([]graph.NodeSet, n)
 	for v := 0; v < n; v++ {
 		if h.HasNode(v) {
@@ -196,6 +205,58 @@ func MaxIndependentSet(h *graph.Digraph) graph.NodeSet {
 	}
 	rec(graph.FullNodeSet(n))
 	return best
+}
+
+// maxIndependentSet64 is the single-word branch-and-bound used for
+// universes of at most 64 nodes — the hot path of MinK, which sim.Execute
+// runs once per simulation.
+func maxIndependentSet64(h *graph.Digraph) graph.NodeSet {
+	n := h.N()
+	var adj [64]uint64
+	for v := 0; v < n; v++ {
+		if !h.HasNode(v) {
+			continue
+		}
+		w := uint64(0)
+		h.ForEachOut(v, func(u int) { w |= 1 << u })
+		adj[v] = w &^ (1 << v) // ignore self-loops
+	}
+	var full uint64
+	if n == 64 {
+		full = ^uint64(0)
+	} else {
+		full = (1 << n) - 1
+	}
+	var best, cur uint64
+	bestLen, curLen := 0, 0
+	var rec func(cand uint64)
+	rec = func(cand uint64) {
+		if curLen+bits.OnesCount64(cand) <= bestLen {
+			return // bound: cannot beat the incumbent
+		}
+		if cand == 0 {
+			best, bestLen = cur, curLen
+			return
+		}
+		v := bits.TrailingZeros64(cand)
+		bit := uint64(1) << v
+		// Branch 1: v in the set — drop v and its neighbors.
+		cur |= bit
+		curLen++
+		rec(cand &^ bit &^ adj[v])
+		cur &^= bit
+		curLen--
+		// Branch 2: v not in the set.
+		rec(cand &^ bit)
+	}
+	rec(full)
+	out := graph.NewNodeSet(n)
+	for w := best; w != 0; {
+		v := bits.TrailingZeros64(w)
+		w &^= 1 << v
+		out.Add(v)
+	}
+	return out
 }
 
 // IndependenceNumber returns the size of a maximum independent set of the

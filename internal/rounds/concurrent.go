@@ -38,6 +38,14 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	for i := range inboxes {
 		inboxes[i] = make(chan []any, 1)
 	}
+	// One reusable receive buffer per process. Reuse is safe: the
+	// coordinator refills recvBufs[q] for round r+1 only after collecting
+	// every round-r ack, and q reads its buffer only before acking; the
+	// ack and inbox channels order those accesses.
+	recvBufs := make([][]any, n)
+	for i := range recvBufs {
+		recvBufs[i] = make([]any, n)
+	}
 
 	wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -85,7 +93,10 @@ func RunConcurrent(cfg Config) (*Result, error) {
 		}
 		// Route along the round graph.
 		for q := 0; q < n; q++ {
-			recv := make([]any, n)
+			recv := recvBufs[q]
+			for p := range recv {
+				recv[p] = nil
+			}
 			g.ForEachIn(q, func(p int) { recv[p] = msgs[p] })
 			inboxes[q] <- recv
 		}

@@ -40,6 +40,11 @@ type Algorithm interface {
 	// n; recv[q] is q's round-r message if the edge (q -> self) is in
 	// G^r, and nil otherwise. Because round graphs always contain all
 	// self-loops, recv[self] is always the process's own message.
+	//
+	// The recv slice (and the messages in it) are only valid for the
+	// duration of the call: executors reuse the buffer for later rounds,
+	// and senders reuse message storage. Implementations that need
+	// round-r data afterwards must copy it before returning.
 	Transition(r int, recv []any)
 }
 

@@ -70,9 +70,9 @@ type meteredProc struct {
 }
 
 func (m meteredProc) Send(r int) any {
-	msg := m.Process.Send(r)
+	msg := m.Process.Send(r).(*core.Message)
 	m.mu.Lock()
-	m.meter.ObserveMessage(msg.(core.Message))
+	m.meter.ObserveMessage(*msg)
 	m.mu.Unlock()
 	return msg
 }

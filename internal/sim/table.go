@@ -39,6 +39,10 @@ func (t *Table) AddRow(cells ...any) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns the rendered cell strings, row-major; used by the JSON
+// output of cmd/ksetbench. The result shares storage with the table.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // Render returns the table as aligned text with a title line and a rule
 // under the header.
 func (t *Table) Render() string {

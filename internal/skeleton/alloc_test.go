@@ -1,0 +1,35 @@
+package skeleton
+
+import (
+	"testing"
+
+	"kset/internal/graph"
+)
+
+// TestObserveAllocsPerRun pins the skeleton tracker's hot path: once the
+// run's skeleton has stabilized, folding in further round graphs must not
+// allocate (the word-level Digraph.IntersectWith). See DESIGN.md §4.
+func TestObserveAllocsPerRun(t *testing.T) {
+	n := 32
+	// A stable round graph sparser than the initial complete skeleton:
+	// the first observation removes edges, later ones are steady-state.
+	g := graph.NewFullDigraph(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, v)
+		g.AddEdge(v, (v+1)%n)
+	}
+	tr := NewTracker(n, false)
+	r := 0
+	observe := func() {
+		r++
+		tr.Observe(r, g)
+	}
+	observe() // round 1 shrinks complete -> ring; scratch-free from here on
+	avg := testing.AllocsPerRun(50, observe)
+	if avg != 0 {
+		t.Errorf("%v allocs per steady-state Observe, want 0", avg)
+	}
+	if tr.LastChange() != 1 {
+		t.Fatalf("LastChange = %d, want 1", tr.LastChange())
+	}
+}

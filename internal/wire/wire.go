@@ -50,7 +50,7 @@ func AppendEncode(dst []byte, m core.Message) []byte {
 	n := m.G.N()
 	dst = binary.AppendUvarint(dst, uint64(n))
 	bitmap := make([]byte, (n+7)/8)
-	m.G.Nodes().ForEach(func(v int) { bitmap[v/8] |= 1 << (v % 8) })
+	m.G.ForEachNode(func(v int) { bitmap[v/8] |= 1 << (v % 8) })
 	dst = append(dst, bitmap...)
 	dst = binary.AppendUvarint(dst, uint64(m.G.NumEdges()))
 	m.G.ForEachEdge(func(u, v, label int) {

@@ -112,7 +112,7 @@ func TestPublicAdversaries(t *testing.T) {
 func TestPublicProcessDirectUse(t *testing.T) {
 	p := kset.NewProcess(9)
 	p.Init(0, 1)
-	msg := p.Send(1).(kset.Message)
+	msg := p.Send(1).(*kset.Message)
 	p.Transition(1, []any{msg})
 	if !p.Decided() {
 		t.Fatal("singleton should decide at round 1")
