@@ -1,0 +1,84 @@
+// Command docscheck is the CI documentation gate: it fails (exit 1) when
+// any Go package under internal/ lacks a godoc package comment. The
+// reproduction's packages double as the map of the paper's structure
+// (see DESIGN.md §1), so an uncommented package is a hole in that map.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck [dir]
+//
+// dir defaults to internal; every directory below it containing
+// non-test .go files is checked.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "internal"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var missing []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		ok, checked, err := packageHasComment(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if checked && !ok {
+			missing = append(missing, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: packages missing a package comment:\n")
+		for _, p := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: all packages under %s have package comments\n", root)
+}
+
+// packageHasComment parses the non-test .go files of dir and reports
+// whether any carries a package doc comment. checked is false when the
+// directory contains no non-test Go files.
+func packageHasComment(dir string) (ok, checked bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		checked = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, checked, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, checked, nil
+}

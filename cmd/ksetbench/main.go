@@ -1,14 +1,20 @@
-// Command ksetbench runs the reproduction suite E1-E12 (DESIGN.md §3) and
+// Command ksetbench runs the reproduction suite E1-E16 (DESIGN.md §3) and
 // prints the measured tables recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	ksetbench [-quick] [-trials N] [-seed S] [-only E5] [-json]
+//	ksetbench [-quick] [-trials N] [-seed S] [-workers W] [-only E5] [-json] [-timings=false]
 //
 // With -json the suite is emitted as one JSON document instead of text
 // tables, so CI and future PRs can record BENCH_*.json trajectory files:
 //
 //	go run ./cmd/ksetbench -quick -json > BENCH_run.json
+//
+// Every experiment is deterministic given -trials and -seed, for any
+// -workers value (the streaming sweep engine delivers outcomes to the
+// aggregators in cell order regardless of scheduling); pass
+// -timings=false to also zero the per-experiment seconds, making the
+// -json document byte-identical across runs and worker counts.
 package main
 
 import (
@@ -46,11 +52,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ksetbench: ")
 	var (
-		quick  = flag.Bool("quick", false, "reduced trial counts")
-		trials = flag.Int("trials", 0, "override trials per cell")
-		seed   = flag.Int64("seed", 0, "override experiment seed")
-		only   = flag.String("only", "", "run only the experiment with this id (e.g. E5)")
-		asJSON = flag.Bool("json", false, "emit one JSON document instead of text tables")
+		quick   = flag.Bool("quick", false, "reduced trial counts")
+		trials  = flag.Int("trials", 0, "override trials per cell")
+		seed    = flag.Int64("seed", 0, "override experiment seed")
+		workers = flag.Int("workers", 0, "override sweep worker count")
+		only    = flag.String("only", "", "run only the experiment with this id (e.g. E5)")
+		asJSON  = flag.Bool("json", false, "emit one JSON document instead of text tables")
+		timings = flag.Bool("timings", true, "record per-experiment seconds (disable for byte-stable -json output)")
 	)
 	flag.Parse()
 
@@ -63,6 +71,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 
 	type step struct {
@@ -82,6 +93,10 @@ func main() {
 		{"E10", func() (*experiments.Result, error) { return experiments.E10GuardFlaw(cfg) }},
 		{"E11", func() (*experiments.Result, error) { return experiments.E11Convergence(cfg) }},
 		{"E12", func() (*experiments.Result, error) { return experiments.E12Mobile(cfg) }},
+		{"E13", func() (*experiments.Result, error) { return experiments.E13TInterval(cfg) }},
+		{"E14", func() (*experiments.Result, error) { return experiments.E14PartitionMerge(cfg) }},
+		{"E15", func() (*experiments.Result, error) { return experiments.E15VertexStable(cfg) }},
+		{"E16", func() (*experiments.Result, error) { return experiments.E16Scaling(cfg) }},
 	}
 
 	suite := jsonSuite{
@@ -105,6 +120,9 @@ func main() {
 			log.Fatalf("%s: %v", s.id, err)
 		}
 		secs := time.Since(start).Seconds()
+		if !*timings {
+			secs = 0
+		}
 		if res.Violations != 0 {
 			suite.Failures++
 		}
@@ -134,7 +152,7 @@ func main() {
 		fmt.Println()
 	}
 	if ran == 0 {
-		log.Fatalf("-only %s matches no experiment (have E1..E12)", *only)
+		log.Fatalf("-only %s matches no experiment (have E1..E16)", *only)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

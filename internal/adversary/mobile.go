@@ -81,11 +81,10 @@ func (m *Mobile) Graph(r int) *graph.Digraph {
 	return g
 }
 
-// StabilizationRound implements rounds.Stabilizer only when the silence
-// settles; querying it on a non-settling adversary panics, so callers
-// must check settleRound via Settles first. The rounds.Stabilizer
-// interface is satisfied through the stabilizedMobile wrapper returned by
-// Settled.
+// silentSet computes the set of processes silenced in round r: a
+// round-robin window for the classical deterministic schedule, or a
+// seeded random f-subset. (Stabilization is exposed separately, through
+// the SettledMobile wrapper returned by Settled.)
 func (m *Mobile) silentSet(r int) graph.NodeSet {
 	set := graph.NewNodeSet(m.n)
 	if m.roundRobin {

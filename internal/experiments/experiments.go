@@ -1,9 +1,10 @@
-// Package experiments implements the reproduction suite E1-E12 defined
+// Package experiments implements the reproduction suite E1-E16 defined
 // in DESIGN.md §3: every figure of the paper, every quantitative claim of
-// its theorems, the soundness audit of its main proof, and the classical
-// regimes it cites, rendered as measured tables. cmd/ksetbench prints these
-// tables (EXPERIMENTS.md records them) and bench_test.go wraps them as Go
-// benchmarks.
+// its theorems, the soundness audit of its main proof, the classical
+// regimes it cites, and the dynamic-network adversary suite E13-E16 that
+// probes just outside the paper's eventually-stable model, rendered as
+// measured tables. cmd/ksetbench prints these tables (EXPERIMENTS.md
+// records them) and bench_test.go wraps them as Go benchmarks.
 package experiments
 
 import (
@@ -686,6 +687,10 @@ func All(cfg Config) ([]*Result, error) {
 		func() (*Result, error) { return E10GuardFlaw(cfg) },
 		func() (*Result, error) { return E11Convergence(cfg) },
 		func() (*Result, error) { return E12Mobile(cfg) },
+		func() (*Result, error) { return E13TInterval(cfg) },
+		func() (*Result, error) { return E14PartitionMerge(cfg) },
+		func() (*Result, error) { return E15VertexStable(cfg) },
+		func() (*Result, error) { return E16Scaling(cfg) },
 	}
 	for _, step := range steps {
 		r, err := step()

@@ -132,7 +132,7 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 12 {
+	if len(results) != 16 {
 		t.Fatalf("suite size = %d", len(results))
 	}
 	for _, r := range results {
@@ -185,5 +185,89 @@ func TestE12Mobile(t *testing.T) {
 	}
 	if res.Table.NumRows() != 9 {
 		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestE13TInterval(t *testing.T) {
+	res, err := E13TInterval(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("T-interval regime violated Theorem 1:\n%s", res.Table.Render())
+	}
+	if res.Table.NumRows() != 6 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestE14PartitionMerge(t *testing.T) {
+	res, err := E14PartitionMerge(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("partition bound not tight:\n%s", res.Table.Render())
+	}
+	if res.Table.NumRows() != 15 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestE15VertexStable(t *testing.T) {
+	res, err := E15VertexStable(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("stale-edge bound or consensus violated:\n%s", res.Table.Render())
+	}
+	if !strings.Contains(res.Table.Render(), "true") {
+		t.Fatalf("E15 should reach consensus:\n%s", res.Table.Render())
+	}
+}
+
+func TestE16Scaling(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Trials = 8
+	res, err := E16Scaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("scaling sweep violated bounds:\n%s", res.Table.Render())
+	}
+	if res.Table.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+// TestDynamicSuiteWorkerIndependent pins the streaming determinism
+// contract at the experiment level: the rendered tables of E13-E16 must
+// be byte-identical for 1 and 8 sweep workers.
+func TestDynamicSuiteWorkerIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker-independence sweep in short mode")
+	}
+	steps := []func(Config) (*Result, error){
+		E13TInterval, E14PartitionMerge, E15VertexStable, E16Scaling,
+	}
+	for i, step := range steps {
+		cfg := QuickConfig()
+		cfg.Trials = 6
+		cfg.Workers = 1
+		a, err := step(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 8
+		b, err := step(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Table.Render() != b.Table.Render() {
+			t.Errorf("E%d table depends on worker count:\n--- workers=1\n%s\n--- workers=8\n%s",
+				13+i, a.Table.Render(), b.Table.Render())
+		}
 	}
 }

@@ -1,8 +1,11 @@
 // Package sim is the experiment driver: it wires an adversary, Algorithm 1
 // (or a baseline), the skeleton tracker, the wire meter, and the outcome
-// checker into one call, and runs parameter sweeps on a worker pool. All
-// experiment tables in EXPERIMENTS.md are produced through this package
-// (see cmd/ksetbench and bench_test.go).
+// checker into one call (Execute), and runs parameter sweeps on a worker
+// pool — either buffered (Sweep) or sharded-and-streaming (StreamSweep),
+// which delivers outcomes to incremental aggregators in deterministic
+// cell order without retaining per-trial records. All experiment tables
+// in EXPERIMENTS.md are produced through this package (see cmd/ksetbench
+// and bench_test.go).
 package sim
 
 import (
@@ -50,16 +53,23 @@ type Spec struct {
 type Outcome struct {
 	trace.Outcome
 	// RST is the observed stabilization round of the skeleton (last
-	// round that removed an edge; >= 1).
+	// round that removed an edge; >= 1) — the paper's r_ST, the pivot of
+	// the Lemma 11 termination bound r_ST + 2n - 1.
 	RST int
-	// RootComps is the number of root components of the stable skeleton.
+	// RootComps is the number of root components of the stable skeleton;
+	// Theorem 1 bounds it by MinK.
 	RootComps int
-	// MinK is the smallest k for which Psrcs(k) holds in this run.
+	// MinK is the smallest k for which Psrcs(k) holds in this run — the
+	// tightest decision-diversity bound the paper's theorems give it.
 	MinK int
 	// Skeleton is the stable skeleton G^∩∞ of the run.
 	Skeleton *graph.Digraph
 	// Meter holds wire statistics when Spec.MeterMessages was set.
 	Meter wire.Meter
+	// Observer echoes Spec.Observer, so sweep consumers that attach
+	// per-run instrumentation to a spec (e.g. the E15 stale-edge meter)
+	// can read it back from the streamed outcome.
+	Observer rounds.Observer
 }
 
 // meteredProc wraps Algorithm 1 to measure outgoing message sizes.
@@ -69,6 +79,9 @@ type meteredProc struct {
 	meter *wire.Meter
 }
 
+// Send implements rounds.Algorithm; it feeds every outgoing (tag, x, G)
+// message through the wire meter before broadcast, measuring the
+// Section V bit-complexity claim without touching the algorithm.
 func (m meteredProc) Send(r int) any {
 	msg := m.Process.Send(r).(*core.Message)
 	m.mu.Lock()
@@ -96,7 +109,7 @@ func Execute(spec Spec) (*Outcome, error) {
 		}
 	}
 
-	out := &Outcome{}
+	out := &Outcome{Observer: spec.Observer}
 	tracker := skeleton.NewTracker(n, false)
 
 	factory := spec.NewProcess
@@ -159,44 +172,6 @@ func Execute(spec Spec) (*Outcome, error) {
 	out.RootComps = len(graph.RootComponents(out.Skeleton))
 	out.MinK = predicate.MinK(out.Skeleton)
 	return out, nil
-}
-
-// Sweep executes specs on `workers` goroutines, preserving order. A nil
-// or zero workers value runs sequentially. The first error aborts the
-// sweep.
-func Sweep(specs []Spec, workers int) ([]*Outcome, error) {
-	if workers <= 1 || len(specs) <= 1 {
-		outs := make([]*Outcome, len(specs))
-		for i, s := range specs {
-			o, err := Execute(s)
-			if err != nil {
-				return nil, fmt.Errorf("sim: spec %d: %w", i, err)
-			}
-			outs[i] = o
-		}
-		return outs, nil
-	}
-
-	outs := make([]*Outcome, len(specs))
-	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range specs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = Execute(specs[i])
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: spec %d: %w", i, err)
-		}
-	}
-	return outs, nil
 }
 
 // SeqProposals returns the canonical distinct proposal vector

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kset/internal/adversary"
+	"kset/internal/stats"
+)
+
+// streamDigest runs a streaming sweep over `cells` random-source trials
+// and renders the aggregated statistics as a string. Any dependence of
+// the aggregation on the worker count would change the digest.
+func streamDigest(t *testing.T, cells, workers, shardSize int) string {
+	t.Helper()
+	n := 8
+	rounds := stats.NewStream()
+	var distinct stats.Running
+	order := make([]int, 0, cells)
+	err := StreamSweep(StreamConfig{
+		Cells:     cells,
+		Workers:   workers,
+		ShardSize: shardSize,
+		Spec: func(cell int) (Spec, error) {
+			rng := rand.New(rand.NewSource(CellSeed(42, cell)))
+			return Spec{
+				Adversary: adversary.RandomSources(n, 1+rng.Intn(3), rng.Intn(n), 0.25, rng),
+				Proposals: SeqProposals(n),
+			}, nil
+		},
+		OnOutcome: func(cell int, out *Outcome) error {
+			order = append(order, cell)
+			rounds.Add(float64(out.MaxDecisionRound()))
+			distinct.Add(float64(len(out.DistinctDecisions())))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("workers=%d: outcome %d delivered at position %d", workers, c, i)
+		}
+	}
+	return fmt.Sprintf("%v | distinct mean=%v max=%v", rounds.Summary(), distinct.Mean(), distinct.Max())
+}
+
+func TestStreamSweepByteStableAcrossWorkers(t *testing.T) {
+	const cells = 60
+	want := streamDigest(t, cells, 1, 4)
+	for _, workers := range []int{4, 8} {
+		for _, shard := range []int{1, 4, 16} {
+			if got := streamDigest(t, cells, workers, shard); got != want {
+				t.Fatalf("workers=%d shard=%d digest\n  %s\nwant (workers=1)\n  %s",
+					workers, shard, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamSweepProgress(t *testing.T) {
+	var calls []int
+	err := StreamSweep(StreamConfig{
+		Cells:     5,
+		Workers:   3,
+		ShardSize: 2,
+		Spec: func(cell int) (Spec, error) {
+			return Spec{Adversary: adversary.Complete(3), Proposals: SeqProposals(3)}, nil
+		},
+		OnOutcome: func(cell int, out *Outcome) error { return nil },
+		OnProgress: func(done, total int) {
+			if total != 5 {
+				t.Errorf("total = %d", total)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 5 {
+		t.Fatalf("progress calls = %v", calls)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress out of order: %v", calls)
+		}
+	}
+}
+
+func TestStreamSweepPropagatesErrors(t *testing.T) {
+	specErr := func(cell int) (Spec, error) {
+		if cell == 3 {
+			return Spec{}, fmt.Errorf("boom")
+		}
+		return Spec{Adversary: adversary.Complete(3), Proposals: SeqProposals(3)}, nil
+	}
+	for _, workers := range []int{1, 4} {
+		err := StreamSweep(StreamConfig{
+			Cells:     10,
+			Workers:   workers,
+			ShardSize: 2,
+			Spec:      specErr,
+			OnOutcome: func(cell int, out *Outcome) error { return nil },
+		})
+		if err == nil || !strings.Contains(err.Error(), "cell 3") {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+
+	// Consumer errors abort too.
+	err := StreamSweep(StreamConfig{
+		Cells:   8,
+		Workers: 4,
+		Spec: func(cell int) (Spec, error) {
+			return Spec{Adversary: adversary.Complete(3), Proposals: SeqProposals(3)}, nil
+		},
+		OnOutcome: func(cell int, out *Outcome) error {
+			if cell == 2 {
+				return fmt.Errorf("consumer stop")
+			}
+			return nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cell 2") {
+		t.Fatalf("consumer error not propagated: %v", err)
+	}
+}
+
+func TestStreamSweepValidation(t *testing.T) {
+	ok := func(cell int, out *Outcome) error { return nil }
+	spec := func(cell int) (Spec, error) {
+		return Spec{Adversary: adversary.Complete(2), Proposals: SeqProposals(2)}, nil
+	}
+	if err := StreamSweep(StreamConfig{Cells: 1, OnOutcome: ok}); err == nil {
+		t.Fatal("nil Spec accepted")
+	}
+	if err := StreamSweep(StreamConfig{Cells: 1, Spec: spec}); err == nil {
+		t.Fatal("nil OnOutcome accepted")
+	}
+	if err := StreamSweep(StreamConfig{Cells: -1, Spec: spec, OnOutcome: ok}); err == nil {
+		t.Fatal("negative Cells accepted")
+	}
+	// Zero cells is a valid empty sweep.
+	if err := StreamSweep(StreamConfig{Cells: 0, Spec: spec, OnOutcome: ok}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellSeedDistinctAndStable(t *testing.T) {
+	seen := map[int64]int{}
+	for cell := 0; cell < 10000; cell++ {
+		s := CellSeed(20110222, cell)
+		if s < 0 {
+			t.Fatalf("negative seed for cell %d", cell)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("cells %d and %d share seed %d", prev, cell, s)
+		}
+		seen[s] = cell
+	}
+	if CellSeed(1, 1) != CellSeed(1, 1) {
+		t.Fatal("CellSeed not deterministic")
+	}
+	if CellSeed(1, 1) == CellSeed(2, 1) {
+		t.Fatal("CellSeed ignores base seed")
+	}
+}
+
+// TestExecuteAutoBound pins the Spec.MaxRounds == 0 contract stated in
+// the field's doc comment: stabilization round + 2n + 5 for Stabilizer
+// adversaries, 12n for adversaries with no known stabilization round
+// (e.g. Churn). RunToCompletion makes the executed round count equal the
+// bound, so a drift between comment and code fails here.
+func TestExecuteAutoBound(t *testing.T) {
+	n := 6
+	churn := adversary.NewChurn(adversary.Figure1StableSkeleton(), 0.05, 3)
+	out, err := Execute(Spec{
+		Adversary:       churn,
+		Proposals:       SeqProposals(n),
+		RunToCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 12*n {
+		t.Fatalf("non-Stabilizer auto bound ran %d rounds, want 12n = %d", out.Rounds, 12*n)
+	}
+
+	stab := adversary.Eventual(adversary.Complete(n), 4) // stabilizes at round 5
+	out, err = Execute(Spec{
+		Adversary:       stab,
+		Proposals:       SeqProposals(n),
+		RunToCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := stab.StabilizationRound() + 2*n + 5; out.Rounds != want {
+		t.Fatalf("Stabilizer auto bound ran %d rounds, want %d", out.Rounds, want)
+	}
+}

@@ -112,6 +112,8 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
+// String renders the summary in the compact one-line form used by
+// experiment notes.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.0f p50=%.1f p95=%.1f max=%.0f",
 		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.Max)
@@ -139,7 +141,8 @@ func LinearFit(xs, ys []float64) (slope, intercept float64) {
 
 // PowerLawExponent fits y = c·x^e by regressing log y on log x and
 // returns e: the growth exponent of a measured quantity (e.g. message
-// bytes as a function of n). All inputs must be positive.
+// bytes as a function of n, checking Section V's "polynomial in n"
+// bit-complexity claim in experiment E5). All inputs must be positive.
 func PowerLawExponent(xs, ys []float64) float64 {
 	lx := make([]float64, len(xs))
 	ly := make([]float64, len(ys))

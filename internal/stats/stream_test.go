@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs []float64
+	var r Running
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*10 + 50
+		xs = append(xs, x)
+		r.Add(x)
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("mean %v vs %v", r.Mean(), Mean(xs))
+	}
+	if math.Abs(r.StdDev()-StdDev(xs)) > 1e-9 {
+		t.Fatalf("stddev %v vs %v", r.StdDev(), StdDev(xs))
+	}
+	if r.Min() != Min(xs) || r.Max() != Max(xs) {
+		t.Fatalf("min/max %v/%v vs %v/%v", r.Min(), r.Max(), Min(xs), Max(xs))
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.StdDev() != 0 {
+		t.Fatal("empty Running should report zeros")
+	}
+	if !math.IsInf(r.Min(), 1) || !math.IsInf(r.Max(), -1) {
+		t.Fatal("empty Running min/max should match batch Min/Max of empty slice")
+	}
+}
+
+func TestP2QuantileExactWhenSmall(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	for _, x := range []float64{3, 1, 2} {
+		e.Add(x)
+	}
+	if got := e.Value(); got != 2 {
+		t.Fatalf("median of {1,2,3} = %v", got)
+	}
+}
+
+func TestP2QuantileApproximatesBatch(t *testing.T) {
+	for _, p := range []float64{0.5, 0.95} {
+		rng := rand.New(rand.NewSource(11))
+		e := NewP2Quantile(p)
+		var xs []float64
+		for i := 0; i < 5000; i++ {
+			x := rng.ExpFloat64() * 100
+			xs = append(xs, x)
+			e.Add(x)
+		}
+		want := Percentile(xs, p*100)
+		got := e.Value()
+		// P² is an estimate; on 5000 exponential samples it should land
+		// within a few percent of the exact batch percentile.
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("p=%v: estimate %v vs exact %v", p, got, want)
+		}
+	}
+}
+
+func TestP2QuantileDeterministic(t *testing.T) {
+	a, b := NewP2Quantile(0.95), NewP2Quantile(0.95)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		x := rng.Float64() * 1000
+		a.Add(x)
+		b.Add(x)
+	}
+	if a.Value() != b.Value() {
+		t.Fatalf("same sequence, different estimates: %v vs %v", a.Value(), b.Value())
+	}
+}
+
+func TestP2QuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("p=%v accepted", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Value on empty estimator accepted")
+			}
+		}()
+		NewP2Quantile(0.5).Value()
+	}()
+}
+
+func TestStreamMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := NewStream()
+	var xs []float64
+	for i := 0; i < 2000; i++ {
+		x := float64(rng.Intn(200))
+		xs = append(xs, x)
+		s.Add(x)
+	}
+	got, want := s.Summary(), Summarize(xs)
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("N/min/max: %+v vs %+v", got, want)
+	}
+	if math.Abs(got.Mean-want.Mean) > 1e-9 || math.Abs(got.StdDev-want.StdDev) > 1e-9 {
+		t.Fatalf("mean/stddev: %+v vs %+v", got, want)
+	}
+	if math.Abs(got.P50-want.P50) > 0.05*(want.P50+1) ||
+		math.Abs(got.P95-want.P95) > 0.05*(want.P95+1) {
+		t.Fatalf("percentiles: %+v vs %+v", got, want)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	if got := (NewStream()).Summary(); got != (Summary{}) {
+		t.Fatalf("empty Stream summary = %+v", got)
+	}
+}
