@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -28,38 +30,51 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figure1: ")
-	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text")
-	nRounds := flag.Int("rounds", 8, "rounds of p6's approximation to show")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	run := adversary.Figure1()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("figure1", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dot := fs.Bool("dot", false, "emit Graphviz dot instead of text")
+	nRounds := fs.Int("rounds", 8, "rounds of p6's approximation to show")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits 0, as ExitOnError did
+		}
+		return err
+	}
+
+	fig := adversary.Figure1()
 	const n = 6
 	const p6 = 5
 
 	// Skeletons (Figures 1a and 1b).
 	tr := skeleton.NewTracker(n, true)
 	for r := 1; r <= *nRounds; r++ {
-		tr.Observe(r, run.Graph(r))
+		tr.Observe(r, fig.Graph(r))
 	}
-	stable := run.StableSkeleton()
+	stable := fig.StableSkeleton()
 
 	if *dot {
-		fmt.Print(graph.DOT(tr.At(2), "G_cap_2", true))
-		fmt.Print(graph.DOT(stable, "G_cap_inf", true))
+		fmt.Fprint(stdout, graph.DOT(tr.At(2), "G_cap_2", true))
+		fmt.Fprint(stdout, graph.DOT(stable, "G_cap_inf", true))
 	} else {
-		fmt.Println("Figure 1a — round-2 skeleton G^∩2 (self-loops omitted in the paper):")
-		fmt.Print(graph.ASCII(tr.At(2)))
-		fmt.Println()
-		fmt.Println("Figure 1b — stable skeleton G^∩∞:")
-		fmt.Print(graph.ASCII(stable))
-		fmt.Printf("\nroot components: ")
+		fmt.Fprintln(stdout, "Figure 1a — round-2 skeleton G^∩2 (self-loops omitted in the paper):")
+		fmt.Fprint(stdout, graph.ASCII(tr.At(2)))
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "Figure 1b — stable skeleton G^∩∞:")
+		fmt.Fprint(stdout, graph.ASCII(stable))
+		fmt.Fprintf(stdout, "\nroot components: ")
 		for i, rc := range graph.RootComponents(stable) {
 			if i > 0 {
-				fmt.Print(", ")
+				fmt.Fprint(stdout, ", ")
 			}
-			fmt.Print(rc)
+			fmt.Fprint(stdout, rc)
 		}
-		fmt.Printf("   (Psrcs(3) holds; MinK = 3)\n\n")
+		fmt.Fprintf(stdout, "   (Psrcs(3) holds; MinK = 3)\n\n")
 	}
 
 	// Execute Algorithm 1 and capture p6's approximations.
@@ -75,7 +90,7 @@ func main() {
 		for i, p := range procs {
 			msgs[i] = p.Send(r)
 		}
-		g := run.Graph(r)
+		g := fig.Graph(r)
 		for q := 0; q < n; q++ {
 			recv := make([]any, n)
 			g.ForEachIn(q, func(p int) { recv[p] = msgs[p] })
@@ -83,39 +98,39 @@ func main() {
 		}
 		approx := procs[p6].Approx()
 		if *dot {
-			fmt.Print(graph.DOTLabeled(approx, fmt.Sprintf("G%d_p6", r), true))
+			fmt.Fprint(stdout, graph.DOTLabeled(approx, fmt.Sprintf("G%d_p6", r), true))
 			continue
 		}
-		fmt.Printf("Figure 1%c — G^%d_p6: %s\n", 'b'+byte(r), r, withoutSelfLoops(approx))
+		fmt.Fprintf(stdout, "Figure 1%c — G^%d_p6: %s\n", 'b'+byte(r), r, withoutSelfLoops(approx))
 		if r <= len(figure) {
-			fmt.Printf("             paper labels: %v, measured: %v\n",
+			fmt.Fprintf(stdout, "             paper labels: %v, measured: %v\n",
 				figure[r-1], approx.LabelMultiset())
 		}
 	}
 
 	// Run to completion for the decision table.
 	res, err := rounds.RunSequential(rounds.Config{
-		Adversary:  run,
+		Adversary:  fig,
 		NewProcess: core.NewFactory([]int64{1, 2, 3, 4, 5, 6}, core.Options{}),
 		MaxRounds:  50,
 		StopWhen:   rounds.AllDecided,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	oc, err := trace.Collect(res)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !*dot {
-		fmt.Println()
-		fmt.Print(oc.String())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, oc.String())
 		if err := oc.Check(3); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println("k-agreement (k=3), validity, termination: all hold")
+		fmt.Fprintln(stdout, "k-agreement (k=3), validity, termination: all hold")
 	}
-	os.Exit(0)
+	return nil
 }
 
 // withoutSelfLoops renders the labeled edges of g, skipping self-loops to

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenOutput pins the full text reproduction of Figure 1: the run
+// is deterministic, so the output must match the checked-in golden
+// byte for byte.
+func TestGoldenOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("err = %v\n%s", err, out.String())
+	}
+	want, err := os.ReadFile("testdata/figure1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output drifted from testdata/figure1.golden:\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestDotMode checks the Graphviz path emits one digraph per figure.
+func TestDotMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dot", "-rounds", "4"}, &out); err != nil {
+		t.Fatalf("err = %v\n%s", err, out.String())
+	}
+	s := out.String()
+	// G^∩2, G^∩∞, and four per-round approximation graphs.
+	if got := strings.Count(s, "digraph "); got != 6 {
+		t.Fatalf("%d digraph blocks, want 6:\n%s", got, s)
+	}
+	for _, name := range []string{`"G_cap_2"`, `"G_cap_inf"`, `"G1_p6"`, `"G4_p6"`} {
+		if !strings.Contains(s, name) {
+			t.Errorf("missing %s block", name)
+		}
+	}
+}
+
+// TestFlagErrors pins flag parsing through the testable entry point.
+func TestFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("no error for an unknown flag")
+	}
+}

@@ -19,8 +19,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -51,16 +53,29 @@ type jsonSuite struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ksetbench: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ksetbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		quick   = flag.Bool("quick", false, "reduced trial counts")
-		trials  = flag.Int("trials", 0, "override trials per cell")
-		seed    = flag.Int64("seed", 0, "override experiment seed")
-		workers = flag.Int("workers", 0, "override sweep worker count")
-		only    = flag.String("only", "", "run only the experiment with this id (e.g. E5)")
-		asJSON  = flag.Bool("json", false, "emit one JSON document instead of text tables")
-		timings = flag.Bool("timings", true, "record per-experiment seconds (disable for byte-stable -json output)")
+		quick   = fs.Bool("quick", false, "reduced trial counts")
+		trials  = fs.Int("trials", 0, "override trials per cell")
+		seed    = fs.Int64("seed", 0, "override experiment seed")
+		workers = fs.Int("workers", 0, "override sweep worker count")
+		only    = fs.String("only", "", "run only the experiment with this id (e.g. E5)")
+		asJSON  = fs.Bool("json", false, "emit one JSON document instead of text tables")
+		timings = fs.Bool("timings", true, "record per-experiment seconds (disable for byte-stable -json output)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits 0, as ExitOnError did
+		}
+		return err
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -105,8 +120,8 @@ func main() {
 		Seed:   cfg.Seed,
 	}
 	if !*asJSON {
-		fmt.Printf("%s\n", suite.Suite)
-		fmt.Printf("trials/cell=%d seed=%d\n\n", cfg.Trials, cfg.Seed)
+		fmt.Fprintf(stdout, "%s\n", suite.Suite)
+		fmt.Fprintf(stdout, "trials/cell=%d seed=%d\n\n", cfg.Trials, cfg.Seed)
 	}
 	ran := 0
 	for _, s := range steps {
@@ -117,7 +132,7 @@ func main() {
 		start := time.Now()
 		res, err := s.run()
 		if err != nil {
-			log.Fatalf("%s: %v", s.id, err)
+			return fmt.Errorf("%s: %w", s.id, err)
 		}
 		secs := time.Since(start).Seconds()
 		if !*timings {
@@ -141,27 +156,28 @@ func main() {
 			suite.Experiments = append(suite.Experiments, rec)
 			continue
 		}
-		fmt.Printf("=== %s (%.1fs)\n", res.Name, secs)
-		fmt.Println(res.Table.Render())
+		fmt.Fprintf(stdout, "=== %s (%.1fs)\n", res.Name, secs)
+		fmt.Fprintln(stdout, res.Table.Render())
 		for _, note := range res.Notes {
-			fmt.Printf("  note: %s\n", note)
+			fmt.Fprintf(stdout, "  note: %s\n", note)
 		}
 		if res.Violations != 0 {
-			fmt.Printf("  *** %d VIOLATIONS ***\n", res.Violations)
+			fmt.Fprintf(stdout, "  *** %d VIOLATIONS ***\n", res.Violations)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if ran == 0 {
-		log.Fatalf("-only %s matches no experiment (have E1..E16)", *only)
+		return fmt.Errorf("-only %s matches no experiment (have E1..E16)", *only)
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(suite); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if suite.Failures > 0 {
-		os.Exit(1)
+		return fmt.Errorf("%d experiment(s) reported violations", suite.Failures)
 	}
+	return nil
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONSmokeDeterministic runs the E1 reproduction twice through the
+// JSON path on a fixed seed with timings zeroed: the documents must be
+// valid JSON, carry the experiment record, and be byte-identical.
+func TestJSONSmokeDeterministic(t *testing.T) {
+	args := []string{"-quick", "-trials", "2", "-seed", "1", "-only", "E1", "-json", "-timings=false"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatalf("err = %v\n%s", err, a.String())
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("-json -timings=false output is not byte-stable across runs")
+	}
+
+	var suite jsonSuite
+	if err := json.Unmarshal(a.Bytes(), &suite); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a.String())
+	}
+	if suite.Failures != 0 {
+		t.Fatalf("suite reports %d failures", suite.Failures)
+	}
+	if len(suite.Experiments) != 1 || suite.Experiments[0].ID != "E1" {
+		t.Fatalf("experiments = %+v, want exactly E1", suite.Experiments)
+	}
+	if suite.Experiments[0].Violations != 0 {
+		t.Fatalf("E1 reports %d violations", suite.Experiments[0].Violations)
+	}
+}
+
+// TestTextMode checks the table path renders the experiment header.
+func TestTextMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-trials", "2", "-seed", "1", "-only", "E1"}, &out); err != nil {
+		t.Fatalf("err = %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "=== E1") {
+		t.Fatalf("missing experiment header:\n%s", out.String())
+	}
+}
+
+// TestUnknownOnly pins the error path for a bad -only id.
+func TestUnknownOnly(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-quick", "-only", "E99"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("err = %v, want an E99 usage error", err)
+	}
+}

@@ -14,15 +14,18 @@
 //	skeleton-sim -adversary witness            (the E10 counterexample)
 //
 // Runs of eventually-constant adversaries can be recorded to a runfile
-// and replayed bit-identically (useful for sharing counterexamples):
+// and replayed bit-identically (useful for sharing counterexamples —
+// cmd/ksetcheck emits its shrunk schedules in exactly this format):
 //
 //	skeleton-sim -adversary random -n 12 -seed 9 -record bad.ksr
 //	skeleton-sim -replay bad.ksr -trace
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -38,45 +41,53 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("skeleton-sim: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("skeleton-sim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		advName = flag.String("adversary", "figure1",
+		advName = fs.String("adversary", "figure1",
 			"figure1|complete|isolation|lowerbound|random|singlesource|churn|partition|eventual|crash|witness")
-		n            = flag.Int("n", 6, "number of processes")
-		k            = flag.Int("k", 2, "k for the lowerbound adversary")
-		roots        = flag.Int("roots", 1, "root components for the random adversary")
-		noise        = flag.Int("noise", 0, "noisy prefix rounds")
-		noiseP       = flag.Float64("noisep", 0.3, "noise edge probability")
-		blocks       = flag.Int("blocks", 2, "partition blocks")
-		prefix       = flag.Int("prefix", 0, "isolation prefix for the eventual adversary")
-		crashes      = flag.Int("crashes", 1, "crash count for the crash adversary")
-		seed         = flag.Int64("seed", 1, "random seed")
-		maxRounds    = flag.Int("rounds", 0, "round bound (0 = automatic)")
-		concurrent   = flag.Bool("concurrent", false, "use the goroutine-per-process executor")
-		meter        = flag.Bool("meter", false, "measure encoded message sizes")
-		conservative = flag.Bool("conservative", false, "use the repaired line-28 guard (r >= 2n-1)")
-		mergeOwn     = flag.Bool("mergeown", false, "merge own previous graph (ablation)")
-		showSkeleton = flag.Bool("skeleton", true, "print the stable skeleton")
-		record       = flag.String("record", "", "write the run to this runfile before executing")
-		replay       = flag.String("replay", "", "load the run from this runfile (overrides -adversary)")
-		traceRun     = flag.Bool("trace", false, "print per-round PT sets and approximation graphs")
+		n            = fs.Int("n", 6, "number of processes")
+		k            = fs.Int("k", 2, "k for the lowerbound adversary")
+		roots        = fs.Int("roots", 1, "root components for the random adversary")
+		noise        = fs.Int("noise", 0, "noisy prefix rounds")
+		noiseP       = fs.Float64("noisep", 0.3, "noise edge probability")
+		blocks       = fs.Int("blocks", 2, "partition blocks")
+		prefix       = fs.Int("prefix", 0, "isolation prefix for the eventual adversary")
+		crashes      = fs.Int("crashes", 1, "crash count for the crash adversary")
+		seed         = fs.Int64("seed", 1, "random seed")
+		maxRounds    = fs.Int("rounds", 0, "round bound (0 = automatic)")
+		concurrent   = fs.Bool("concurrent", false, "use the goroutine-per-process executor")
+		meter        = fs.Bool("meter", false, "measure encoded message sizes")
+		conservative = fs.Bool("conservative", false, "use the repaired line-28 guard (r >= 2n-1)")
+		mergeOwn     = fs.Bool("mergeown", false, "merge own previous graph (ablation)")
+		showSkeleton = fs.Bool("skeleton", true, "print the stable skeleton")
+		record       = fs.String("record", "", "write the run to this runfile before executing")
+		replay       = fs.String("replay", "", "load the run from this runfile (overrides -adversary)")
+		traceRun     = fs.Bool("trace", false, "print per-round PT sets and approximation graphs")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits 0, as ExitOnError did
+		}
+		return err
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var adv rounds.Adversary
 	if *replay != "" {
-		f, err := os.Open(*replay)
+		loaded, err := runfile.ReadFile(*replay)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		run, err := runfile.Read(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		adv = run
+		adv = loaded
 		*advName = "replay"
-		*n = run.N()
+		*n = loaded.N()
 	}
 	switch *advName {
 	case "replay":
@@ -101,36 +112,29 @@ func main() {
 	case "eventual":
 		adv = adversary.Eventual(adversary.Complete(*n), *prefix)
 	case "crash":
-		run, sched := adversary.RandomCrashes(*n, *crashes, 3, rng)
-		adv = run
+		crashRun, sched := adversary.RandomCrashes(*n, *crashes, 3, rng)
+		adv = crashRun
 		for p, r := range sched.Rounds {
 			if r > 0 {
-				fmt.Printf("schedule: p%d crashes in round %d\n", p+1, r)
+				fmt.Fprintf(stdout, "schedule: p%d crashes in round %d\n", p+1, r)
 			}
 		}
 	case "witness":
 		adv = adversary.ConsensusViolation()
 		*n = 4
 	default:
-		log.Fatalf("unknown adversary %q", *advName)
+		return fmt.Errorf("unknown adversary %q", *advName)
 	}
 
 	if *record != "" {
-		run, ok := adv.(*adversary.Run)
+		rec, ok := adv.(*adversary.Run)
 		if !ok {
-			log.Fatalf("-record requires an eventually-constant adversary, not %q", *advName)
+			return fmt.Errorf("-record requires an eventually-constant adversary, not %q", *advName)
 		}
-		f, err := os.Create(*record)
-		if err != nil {
-			log.Fatal(err)
+		if err := runfile.WriteFile(*record, rec); err != nil {
+			return err
 		}
-		if err := runfile.Write(f, run); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("recorded run to %s\n", *record)
+		fmt.Fprintf(stdout, "recorded run to %s\n", *record)
 	}
 
 	proposals := sim.SeqProposals(adv.N())
@@ -141,7 +145,7 @@ func main() {
 	var observer rounds.Observer
 	if *traceRun {
 		observer = rounds.ObserverFunc(func(r int, g *graph.Digraph, procs []rounds.Algorithm) {
-			fmt.Printf("--- round %d (graph: %d edges) ---\n", r, g.NumEdges())
+			fmt.Fprintf(stdout, "--- round %d (graph: %d edges) ---\n", r, g.NumEdges())
 			for i, a := range procs {
 				p, ok := a.(interface {
 					PT() graph.NodeSet
@@ -156,7 +160,7 @@ func main() {
 				if p.Decided() {
 					status = "D"
 				}
-				fmt.Printf("  p%-2d %s x=%-4d PT=%v G={%v}\n",
+				fmt.Fprintf(stdout, "  p%-2d %s x=%-4d PT=%v G={%v}\n",
 					i+1, status, p.Estimate(), p.PT(), p.Approx())
 			}
 		})
@@ -175,31 +179,32 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Print(out.String())
-	fmt.Printf("skeleton stabilized at round %d; root components: %d; MinK: %d\n",
+	fmt.Fprint(stdout, out.String())
+	fmt.Fprintf(stdout, "skeleton stabilized at round %d; root components: %d; MinK: %d\n",
 		out.RST, out.RootComps, out.MinK)
 	if *showSkeleton {
-		fmt.Println("stable skeleton:")
-		fmt.Print(graph.ASCII(out.Skeleton))
+		fmt.Fprintln(stdout, "stable skeleton:")
+		fmt.Fprint(stdout, graph.ASCII(out.Skeleton))
 	}
 	if *meter {
-		fmt.Printf("wire: %d messages, %.1f B avg, %d B max, %d B total\n",
+		fmt.Fprintf(stdout, "wire: %d messages, %.1f B avg, %d B max, %d B total\n",
 			out.Meter.Messages, out.Meter.Avg(), out.Meter.MaxBytes, out.Meter.TotalBytes)
 	}
 	if err := out.CheckTermination(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := out.CheckValidity(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if got := len(out.DistinctDecisions()); got > out.MinK {
-		fmt.Printf("NOTE: %d distinct decisions exceed MinK=%d — the E10 guard flaw "+
+		fmt.Fprintf(stdout, "NOTE: %d distinct decisions exceed MinK=%d — the E10 guard flaw "+
 			"(rerun with -conservative)\n", got, out.MinK)
 	} else {
-		fmt.Printf("k-agreement: %d distinct decision(s) <= MinK=%d\n",
+		fmt.Fprintf(stdout, "k-agreement: %d distinct decision(s) <= MinK=%d\n",
 			len(out.DistinctDecisions()), out.MinK)
 	}
+	return nil
 }

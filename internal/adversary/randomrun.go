@@ -1,0 +1,126 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kset/internal/graph"
+)
+
+// This file holds the schedule-space generators and surgery helpers of
+// the falsification engine (internal/check, DESIGN.md §6): arbitrary
+// per-round digraph runs, random mutations over existing runs, and the
+// graph-level editing primitives the counterexample shrinker uses
+// (CloneGraphs, ProjectOut). Everything operates on eventually-constant
+// *Run schedules, which are exactly what internal/runfile serializes, so
+// any run produced here can be stored and replayed bit-identically.
+
+// RandomRun returns an eventually-constant run of entirely arbitrary
+// communication graphs: prefixLen rounds each drawn as an independent
+// random digraph (per-round edge density itself drawn uniformly from
+// [0, 1)), followed by one arbitrary stable graph repeated forever. All
+// self-loops are present, as the round model requires; nothing else is
+// constrained — this is the fuzzer's chaos strategy, probing oracle
+// invariants outside every named predicate family.
+func RandomRun(n, prefixLen int, rng *rand.Rand) *Run {
+	if prefixLen < 0 {
+		panic(fmt.Sprintf("adversary: negative prefix length %d", prefixLen))
+	}
+	prefix := make([]*graph.Digraph, prefixLen)
+	for i := range prefix {
+		prefix[i] = graph.RandomDigraph(n, rng.Float64(), rng)
+	}
+	return NewRun(prefix, graph.RandomDigraph(n, rng.Float64(), rng))
+}
+
+// Mutate returns a copy of run with `flips` random off-diagonal edge
+// flips applied: each flip picks a uniformly random round graph (prefix
+// or stable) and a uniformly random ordered pair u != v, and toggles the
+// edge u->v. Self-loops are never touched. Flipping stable-graph edges
+// changes the stable skeleton (and hence MinK), which is fine: the check
+// oracles recompute both from the realized run.
+func Mutate(run *Run, flips int, rng *rand.Rand) *Run {
+	if flips < 0 {
+		panic(fmt.Sprintf("adversary: negative flip count %d", flips))
+	}
+	n := run.N()
+	prefix, stable := run.CloneGraphs()
+	for i := 0; i < flips; i++ {
+		g := stable
+		if len(prefix) > 0 {
+			if slot := rng.Intn(len(prefix) + 1); slot < len(prefix) {
+				g = prefix[slot]
+			}
+		}
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		if n == 1 {
+			continue // only self-loops exist
+		}
+		if g.HasEdge(u, v) {
+			g.RemoveEdge(u, v)
+		} else {
+			g.AddEdge(u, v)
+		}
+	}
+	return NewRun(prefix, stable)
+}
+
+// CloneGraphs returns deep copies of the run's prefix graphs and stable
+// graph, in round order. Callers may edit the copies freely and rebuild a
+// run with NewRun — the schedule-surgery entry point used by Mutate and
+// by the counterexample shrinker.
+func (a *Run) CloneGraphs() (prefix []*graph.Digraph, stable *graph.Digraph) {
+	prefix = make([]*graph.Digraph, len(a.prefix))
+	for i, g := range a.prefix {
+		prefix[i] = g.Clone()
+	}
+	return prefix, a.stable.Clone()
+}
+
+// ProjectOut returns the run restricted to the universe without process
+// v: every round graph is the induced subgraph on the remaining n-1
+// processes, reindexed to 0..n-2 (ids above v shift down by one). This
+// is the shrinker's process-merging reduction: if a violation survives
+// the projection, the counterexample did not need process v. It panics
+// for n == 1 or v out of range.
+func (a *Run) ProjectOut(v int) *Run {
+	n := a.N()
+	if n <= 1 {
+		panic("adversary: cannot project the last process out")
+	}
+	if v < 0 || v >= n {
+		panic(fmt.Sprintf("adversary: ProjectOut p%d out of universe %d", v+1, n))
+	}
+	project := func(g *graph.Digraph) *graph.Digraph {
+		h := graph.NewFullDigraph(n - 1)
+		h.AddSelfLoops()
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			g.ForEachOut(u, func(w int) {
+				if w == v {
+					return
+				}
+				uu, ww := u, w
+				if uu > v {
+					uu--
+				}
+				if ww > v {
+					ww--
+				}
+				h.AddEdge(uu, ww)
+			})
+		}
+		return h
+	}
+	prefix := make([]*graph.Digraph, len(a.prefix))
+	for i, g := range a.prefix {
+		prefix[i] = project(g)
+	}
+	return NewRun(prefix, project(a.stable))
+}

@@ -1,0 +1,128 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"kset/internal/graph"
+)
+
+// checkModel asserts the round-model requirements on every graph of an
+// eventually-constant run: all nodes present, all self-loops.
+func checkModel(t *testing.T, run *Run) {
+	t.Helper()
+	n := run.N()
+	for r := 1; r <= run.StabilizationRound(); r++ {
+		g := run.Graph(r)
+		if g.N() != n {
+			t.Fatalf("round %d universe %d, want %d", r, g.N(), n)
+		}
+		for v := 0; v < n; v++ {
+			if !g.HasNode(v) || !g.HasEdge(v, v) {
+				t.Fatalf("round %d missing node or self-loop p%d", r, v+1)
+			}
+		}
+	}
+}
+
+func TestRandomRunModelRequirements(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(8)
+		run := RandomRun(n, rng.Intn(10), rng)
+		checkModel(t, run)
+	}
+}
+
+func TestMutatePreservesModelAndUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := Figure1()
+	for i := 0; i < 50; i++ {
+		m := Mutate(base, 1+rng.Intn(12), rng)
+		if m.N() != base.N() || m.PrefixLen() != base.PrefixLen() {
+			t.Fatalf("mutation changed shape: n=%d prefix=%d", m.N(), m.PrefixLen())
+		}
+		checkModel(t, m)
+	}
+	// The base run must be untouched by mutations.
+	fresh := Figure1()
+	for r := 1; r <= base.StabilizationRound(); r++ {
+		if !base.Graph(r).Equal(fresh.Graph(r)) {
+			t.Fatalf("Mutate modified the base run's round-%d graph", r)
+		}
+	}
+}
+
+func TestMutateZeroFlipsIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := Figure1()
+	m := Mutate(base, 0, rng)
+	for r := 1; r <= base.StabilizationRound(); r++ {
+		if !base.Graph(r).Equal(m.Graph(r)) {
+			t.Fatalf("0-flip mutation changed round %d", r)
+		}
+	}
+}
+
+func TestCloneGraphsIsDeep(t *testing.T) {
+	base := Figure1()
+	prefix, stable := base.CloneGraphs()
+	if len(prefix) != base.PrefixLen() {
+		t.Fatalf("cloned %d prefix graphs, want %d", len(prefix), base.PrefixLen())
+	}
+	stable.RemoveEdge(0, 0)
+	if !base.Base().HasEdge(0, 0) {
+		t.Fatal("editing the clone reached the original stable graph")
+	}
+	if base.PrefixLen() > 0 {
+		prefix[0].RemoveEdge(0, 0)
+		if !base.Graph(1).HasEdge(0, 0) {
+			t.Fatal("editing the clone reached the original prefix graph")
+		}
+	}
+}
+
+func TestProjectOutReindexes(t *testing.T) {
+	// 4-process static run with a distinctive edge pattern:
+	// p1->p3, p3->p4, p4->p2 (0-based: 0->2, 2->3, 3->1).
+	g := graph.NewFullDigraph(4)
+	g.AddSelfLoops()
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	run := Static(g)
+
+	// Removing p2 (index 1): survivors 0,2,3 reindex to 0,1,2 and the
+	// surviving edges 0->2, 2->3 become 0->1, 1->2.
+	p := run.ProjectOut(1)
+	if p.N() != 3 {
+		t.Fatalf("projected universe %d, want 3", p.N())
+	}
+	got := p.Base()
+	want := graph.NewFullDigraph(3)
+	want.AddSelfLoops()
+	want.AddEdge(0, 1)
+	want.AddEdge(1, 2)
+	if !got.Equal(want) {
+		t.Fatalf("projection got %v, want %v", got, want)
+	}
+	checkModel(t, p)
+
+	// Projecting every process of random runs keeps the model invariants.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		r := RandomRun(5, rng.Intn(4), rng)
+		for v := 0; v < 5; v++ {
+			checkModel(t, r.ProjectOut(v))
+		}
+	}
+}
+
+func TestProjectOutPanicsOnLastProcess(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic projecting the last process out")
+		}
+	}()
+	Isolation(1).ProjectOut(0)
+}

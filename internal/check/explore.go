@@ -1,0 +1,348 @@
+package check
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kset/internal/adversary"
+	"kset/internal/graph"
+)
+
+// This file is the exhaustive explorer. A configuration of a tiny
+// instance is a pair (schedule, proposal order): an eventually-constant
+// schedule (G¹, ..., G^D) of round graphs with G^D repeated forever —
+// 2^(n(n-1)) choices per round, since self-loops are mandatory and
+// everything else is free — together with one of the n! orders in which
+// the distinct proposals 1..n are assigned to processes. Proposal order
+// matters: Algorithm 1 adopts minima (line 27), so its trajectory is NOT
+// invariant under renaming values, and a violation can exist for one
+// assignment but not another (the E10 witness needs a crafted vector).
+//
+// The explorer covers this full 2^(n(n-1)·D)·n! configuration space but
+// executes only one representative per isomorphism class. Renaming the
+// processes by π maps Run(S, P) to the identical execution
+// Run(π(S), P∘π⁻¹), so every configuration is isomorphic to one whose
+// schedule is the lex-least of its orbit (lex-leader canonicalization,
+// enforced by pruning the DFS: a permutation that strictly reduces some
+// prefix of the sequence kills the whole subtree, one that fixes it
+// stays "tied" and keeps constraining deeper levels). At a canonical
+// schedule C the residual redundancy is exactly its automorphism group —
+// Run(C, P) ≅ Run(C, P∘a) for a ∈ Aut(C), the permutations still tied at
+// the leaf — so one proposal vector per right coset of Aut(C) remains.
+// By orbit–stabilizer the executions sum to exactly 2^(n(n-1)·D): the
+// symmetry reduction saves a factor of n! over the configuration space,
+// never misses a violation, and never checks the same run twice.
+
+// ExploreConfig describes one exhaustive exploration.
+type ExploreConfig struct {
+	// N is the number of processes; 1 <= N <= 4 (the per-round graph
+	// count is 2^(n(n-1)): 64 for n=3, 4096 for n=4).
+	N int
+	// Depth is the number of enumerated round graphs; the Depth-th graph
+	// repeats forever. Must satisfy 2^(N(N-1)·Depth) <= 2^26.
+	Depth int
+	// Check configures the per-run oracle evaluation. Its Proposals
+	// field must be nil: the explorer quantifies over proposal orders.
+	Check Config
+	// KeepFailures caps the retained failing runs; 0 means 1.
+	KeepFailures int
+}
+
+// ExploreReport summarizes an exhaustive exploration.
+type ExploreReport struct {
+	// Configurations is the size of the unreduced space:
+	// schedule sequences × proposal orders.
+	Configurations uint64
+	// Sequences is the number of schedule sequences, 2^(n(n-1)·Depth).
+	Sequences uint64
+	// Canonical is the number of lex-least schedule sequences.
+	Canonical uint64
+	// Executions is the number of oracle-checked runs: one per canonical
+	// schedule and proposal-order coset. Always equals Sequences — the
+	// explorer proves it by counting.
+	Executions uint64
+	// FailedRuns is the number of executions with >= 1 oracle violation.
+	FailedRuns int
+	// Failures holds up to KeepFailures failing runs.
+	Failures []*Failure
+}
+
+// Reduction returns the symmetry reduction factor
+// Configurations/Executions (n! when the count comes out right).
+func (r *ExploreReport) Reduction() float64 {
+	if r.Executions == 0 {
+		return 0
+	}
+	return float64(r.Configurations) / float64(r.Executions)
+}
+
+// maxExploreBits bounds the unreduced schedule space to 2^26 sequences
+// (n=3 depth 4, or n=4 depth 2).
+const maxExploreBits = 26
+
+// Explore runs an exhaustive symmetry-reduced exploration. The first
+// execution error aborts it (oracle violations do not: they are
+// collected into the report).
+func Explore(cfg ExploreConfig) (*ExploreReport, error) {
+	n := cfg.N
+	if n < 1 || n > 4 {
+		return nil, fmt.Errorf("check: Explore needs 1 <= n <= 4, got %d", n)
+	}
+	if cfg.Depth < 1 {
+		return nil, fmt.Errorf("check: Explore needs depth >= 1, got %d", cfg.Depth)
+	}
+	if cfg.Check.Proposals != nil {
+		return nil, fmt.Errorf("check: Explore quantifies over proposal orders; Config.Proposals must be nil")
+	}
+	m := n * (n - 1) // free edge slots per round graph
+	if m*cfg.Depth > maxExploreBits {
+		return nil, fmt.Errorf("check: search space 2^%d sequences exceeds 2^%d; lower -depth or -n",
+			m*cfg.Depth, maxExploreBits)
+	}
+	keep := cfg.KeepFailures
+	if keep <= 0 {
+		keep = 1
+	}
+
+	e := &explorer{
+		n:      n,
+		m:      m,
+		depth:  cfg.Depth,
+		cfg:    cfg.Check,
+		keep:   keep,
+		perms:  schedulePerms(n),
+		orders: proposalOrders(n),
+		graphs: make([]*graph.Digraph, 1<<m),
+		seq:    make([]uint32, cfg.Depth),
+		report: &ExploreReport{Sequences: 1 << (m * cfg.Depth)},
+	}
+	e.report.Configurations = e.report.Sequences * uint64(len(e.orders))
+
+	if err := e.dfs(0, e.perms); err != nil {
+		return nil, err
+	}
+	return e.report, nil
+}
+
+type explorer struct {
+	n, m, depth int
+	cfg         Config
+	keep        int
+	perms       []schedulePerm   // every non-identity permutation
+	orders      [][]int64        // all n! proposal vectors (perms of 1..n)
+	graphs      []*graph.Digraph // lazily built graph per edge mask
+	seq         []uint32         // current DFS path of edge masks
+	report      *ExploreReport
+}
+
+// schedulePerm is one non-identity process permutation with its induced
+// map on edge-bit indices.
+type schedulePerm struct {
+	proc []int // proc[i] = π(i)
+	bits []int // bit of (u, v) -> bit of (π(u), π(v))
+}
+
+// pairIndex assigns one bit per ordered pair u != v, in row-major order.
+func pairIndex(n int) [][]int {
+	pairs := make([][]int, n)
+	idx := 0
+	for u := 0; u < n; u++ {
+		pairs[u] = make([]int, n)
+		for v := 0; v < n; v++ {
+			pairs[u][v] = -1
+			if u != v {
+				pairs[u][v] = idx
+				idx++
+			}
+		}
+	}
+	return pairs
+}
+
+// allPerms returns every permutation of 0..n-1.
+func allPerms(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// schedulePerms returns every non-identity permutation of 0..n-1 with
+// its edge-bit map.
+func schedulePerms(n int) []schedulePerm {
+	pairs := pairIndex(n)
+	var perms []schedulePerm
+	for _, p := range allPerms(n) {
+		identity := true
+		for i, pi := range p {
+			if pi != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			continue
+		}
+		pm := make([]int, n*(n-1))
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					pm[pairs[u][v]] = pairs[p[u]][p[v]]
+				}
+			}
+		}
+		perms = append(perms, schedulePerm{proc: p, bits: pm})
+	}
+	return perms
+}
+
+// proposalOrders returns all n! assignments of the distinct proposals
+// 1..n to processes.
+func proposalOrders(n int) [][]int64 {
+	perms := allPerms(n)
+	out := make([][]int64, len(perms))
+	for i, p := range perms {
+		vec := make([]int64, n)
+		for j, pj := range p {
+			vec[j] = int64(pj + 1)
+		}
+		out[i] = vec
+	}
+	return out
+}
+
+// permuteMask applies an edge-bit map to a graph mask.
+func permuteMask(mask uint32, pm []int) uint32 {
+	var out uint32
+	for w := mask; w != 0; {
+		b := bits.TrailingZeros32(w)
+		w &^= 1 << b
+		out |= 1 << pm[b]
+	}
+	return out
+}
+
+// graphFor materializes (and caches) the digraph of an edge mask: all n
+// nodes, all self-loops, plus the mask's off-diagonal edges.
+func (e *explorer) graphFor(mask uint32) *graph.Digraph {
+	if g := e.graphs[mask]; g != nil {
+		return g
+	}
+	g := graph.NewFullDigraph(e.n)
+	g.AddSelfLoops()
+	for w := mask; w != 0; {
+		b := bits.TrailingZeros32(w)
+		w &^= 1 << b
+		// Invert the row-major pair index: bit b is the b-th ordered
+		// pair (u, v), u != v.
+		u := b / (e.n - 1)
+		r := b % (e.n - 1)
+		v := r
+		if r >= u {
+			v = r + 1
+		}
+		g.AddEdge(u, v)
+	}
+	e.graphs[mask] = g
+	return g
+}
+
+// dfs extends the schedule at the given level with every edge mask that
+// survives lex-leader pruning under the still-tied permutations.
+func (e *explorer) dfs(level int, tied []schedulePerm) error {
+	for mask := uint32(0); mask < 1<<e.m; mask++ {
+		var next []schedulePerm
+		canonical := true
+		for _, sp := range tied {
+			switch p := permuteMask(mask, sp.bits); {
+			case p < mask:
+				canonical = false
+			case p == mask:
+				next = append(next, sp)
+			}
+			if !canonical {
+				break
+			}
+		}
+		if !canonical {
+			continue
+		}
+		e.seq[level] = mask
+		if level < e.depth-1 {
+			if err := e.dfs(level+1, next); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := e.checkLeaf(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkLeaf executes and oracle-checks the canonical schedule currently
+// on the DFS path, once per proposal-order coset of its automorphism
+// group (the permutations still tied at the leaf, plus the identity).
+func (e *explorer) checkLeaf(auts []schedulePerm) error {
+	e.report.Canonical++
+	prefix := make([]*graph.Digraph, e.depth-1)
+	for i := range prefix {
+		prefix[i] = e.graphFor(e.seq[i])
+	}
+	run := adversary.NewRun(prefix, e.graphFor(e.seq[e.depth-1]))
+
+	for _, order := range e.orders {
+		// Execute only the lex-least vector of each class {order∘a}.
+		least := true
+		for _, a := range auts {
+			if composeLess(order, a.proc) {
+				least = false
+				break
+			}
+		}
+		if !least {
+			continue
+		}
+		e.report.Executions++
+		cfg := e.cfg
+		cfg.Proposals = order
+		fail, err := CheckRun(run, cfg)
+		if err != nil {
+			return err
+		}
+		if fail != nil {
+			e.report.FailedRuns++
+			if len(e.report.Failures) < e.keep {
+				e.report.Failures = append(e.report.Failures, fail)
+			}
+		}
+	}
+	return nil
+}
+
+// composeLess reports whether order∘a is lexicographically smaller than
+// order, i.e. the vector q with q[i] = order[a[i]] precedes order.
+func composeLess(order []int64, a []int) bool {
+	for i := range order {
+		if q := order[a[i]]; q != order[i] {
+			return q < order[i]
+		}
+	}
+	return false
+}

@@ -308,5 +308,32 @@ func (p *Process) PT() graph.NodeSet { return p.pt.Clone() }
 // Approx returns a copy of the current approximation graph Gp.
 func (p *Process) Approx() *graph.Labeled { return p.g.Clone() }
 
+// PTView returns the current timely neighborhood PTp without copying.
+// The returned set aliases live process state: it is valid only until the
+// process's next Transition and must be treated as read-only. It exists
+// for observer-path invariant checkers (internal/check), which inspect
+// every process every round and must not add allocations to the hot path.
+func (p *Process) PTView() graph.NodeSet { return p.pt }
+
+// ApproxView returns the current approximation graph Gp without copying.
+// Same aliasing contract as PTView: read-only, valid only until the next
+// Transition (the graph is one half of a double buffer whose spare half
+// is rewritten every round).
+func (p *Process) ApproxView() *graph.Labeled { return p.g }
+
+// PurgeWindow returns the age bound of line 24 in effect for this
+// process: edges with label <= r - PurgeWindow are discarded.
+func (p *Process) PurgeWindow() int { return p.purge }
+
+// DecisionFloor returns the earliest round in which the line-28
+// connectivity decision may fire under the configured options: n for the
+// paper's published guard, 2n-1 for the repaired conservative one.
+func (p *Process) DecisionFloor() int {
+	if p.opts.ConservativeDecide {
+		return 2*p.n - 1
+	}
+	return p.n
+}
+
 // Self returns the process id.
 func (p *Process) Self() int { return p.self }

@@ -1,0 +1,57 @@
+package runfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"kset/internal/adversary"
+)
+
+// fuzzSeeds returns representative encoded runs for the fuzz corpus.
+func fuzzSeeds() [][]byte {
+	rng := rand.New(rand.NewSource(1))
+	return [][]byte{
+		Encode(adversary.Figure1()),
+		Encode(adversary.Isolation(1)),
+		Encode(adversary.Complete(4)),
+		Encode(adversary.RandomRun(5, 3, rng)),
+		Encode(adversary.Eventual(adversary.Complete(3), 2)),
+		[]byte("KSR1"), // magic only
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes through Decode; every accepted input
+// must round-trip through Encode to an equal schedule, and no input may
+// panic or allocate graphs beyond what its own length can justify (the
+// decoder bounds universe, prefix, and edge counts against the
+// remaining input).
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(run)
+		run2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded run does not decode: %v", err)
+		}
+		if run2.N() != run.N() || run2.PrefixLen() != run.PrefixLen() {
+			t.Fatalf("round-trip changed the shape: n %d->%d prefix %d->%d",
+				run.N(), run2.N(), run.PrefixLen(), run2.PrefixLen())
+		}
+		for r := 1; r <= run.StabilizationRound(); r++ {
+			if !run.Graph(r).Equal(run2.Graph(r)) {
+				t.Fatalf("round-trip changed round %d", r)
+			}
+		}
+		// Canonical: a second encoding must be byte-identical.
+		if !bytes.Equal(re, Encode(run2)) {
+			t.Fatal("encoding is not canonical")
+		}
+	})
+}

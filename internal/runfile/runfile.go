@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"kset/internal/adversary"
 	"kset/internal/graph"
@@ -33,6 +34,19 @@ var magic = [4]byte{'K', 'S', 'R', '1'}
 
 // ErrBadMagic reports input that is not a runfile.
 var ErrBadMagic = errors.New("runfile: bad magic")
+
+// Decoding limits. A graph over universe n costs Θ(n²/8) bytes of bitset
+// arena, so untrusted headers must not be able to demand huge universes
+// or graph counts before any actual edge data has been seen (found by
+// FuzzDecode: a 10-byte input could previously request a 2^20-node
+// universe). MaxUniverse is far above any simulated system size;
+// MaxPrefix matches the longest schedules the adversaries generate.
+const (
+	// MaxUniverse is the largest accepted universe size n.
+	MaxUniverse = 4096
+	// MaxPrefix is the largest accepted prefix length.
+	MaxPrefix = 1 << 20
+)
 
 // Encode serializes a run.
 func Encode(run *adversary.Run) []byte {
@@ -86,7 +100,7 @@ func Decode(buf []byte) (*adversary.Run, error) {
 	}
 	buf = buf[k:]
 	n := int(un)
-	if n < 1 || n > 1<<20 {
+	if n < 1 || n > MaxUniverse {
 		return nil, fmt.Errorf("runfile: implausible universe %d", n)
 	}
 	up, k := binary.Uvarint(buf)
@@ -95,8 +109,14 @@ func Decode(buf []byte) (*adversary.Run, error) {
 	}
 	buf = buf[k:]
 	p := int(up)
-	if p < 0 || p > 1<<24 {
+	if p < 0 || p > MaxPrefix {
 		return nil, fmt.Errorf("runfile: implausible prefix length %d", p)
+	}
+	// Every graph costs at least one byte (its edge-count varint), so a
+	// header demanding more graphs than there are bytes left is lying;
+	// rejecting it here keeps the decode cost proportional to the input.
+	if p+1 > len(buf) {
+		return nil, fmt.Errorf("runfile: prefix length %d exceeds remaining input %d", p, len(buf))
 	}
 	graphs := make([]*graph.Digraph, 0, p+1)
 	for i := 0; i <= p; i++ {
@@ -122,6 +142,21 @@ func Read(r io.Reader) (*adversary.Run, error) {
 	return Decode(buf)
 }
 
+// WriteFile encodes run into the named file — the counterexample-export
+// entry point of the falsification engine (internal/check).
+func WriteFile(path string, run *adversary.Run) error {
+	return os.WriteFile(path, Encode(run), 0o644)
+}
+
+// ReadFile decodes the named file back into a replayable adversary.
+func ReadFile(path string) (*adversary.Run, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
 func decodeGraph(buf []byte, n int) (*graph.Digraph, []byte, error) {
 	g := graph.NewFullDigraph(n)
 	g.AddSelfLoops()
@@ -130,6 +165,11 @@ func decodeGraph(buf []byte, n int) (*graph.Digraph, []byte, error) {
 		return nil, nil, errTrunc("edge count")
 	}
 	buf = buf[k:]
+	// Each stored edge is at least two varint bytes; a count beyond that
+	// is a lying header, not a long file.
+	if ue > uint64(len(buf))/2 {
+		return nil, nil, fmt.Errorf("edge count %d exceeds remaining input %d", ue, len(buf))
+	}
 	for i := uint64(0); i < ue; i++ {
 		uf, k := binary.Uvarint(buf)
 		if k <= 0 {
@@ -141,7 +181,10 @@ func decodeGraph(buf []byte, n int) (*graph.Digraph, []byte, error) {
 			return nil, nil, errTrunc("edge to")
 		}
 		buf = buf[k:]
-		if int(uf) >= n || int(ut) >= n {
+		// Compare in uint64 space: a >= 2^63 varint would overflow int
+		// to a negative value and sail past an int comparison (found by
+		// FuzzDecode: panic in AddEdge instead of a decode error).
+		if uf >= uint64(n) || ut >= uint64(n) {
 			return nil, nil, fmt.Errorf("edge p%d->p%d out of universe %d", uf+1, ut+1, n)
 		}
 		if uf == ut {

@@ -71,7 +71,12 @@ type shardResult struct {
 
 // StreamSweep runs a streaming sweep. The first error — from Spec,
 // Execute, or OnOutcome — aborts the sweep and is returned wrapped with
-// its cell index.
+// its cell index. Errors are deterministic like deliveries: for every
+// worker count, OnOutcome receives exactly the outcomes of cells
+// 0..f-1 (in order) where f is the LOWEST failing cell, and the
+// returned error is cell f's — not whichever failure happened to finish
+// first. Workers already running when the error surfaces finish their
+// current shard and are discarded.
 func StreamSweep(cfg StreamConfig) error {
 	if cfg.Spec == nil {
 		return fmt.Errorf("sim: StreamConfig.Spec is nil")
@@ -190,45 +195,59 @@ func StreamSweep(cfg StreamConfig) error {
 		close(results)
 	}()
 
-	// Collector: reorder shards and deliver outcomes in cell order. The
-	// token bucket keeps at most workers+1 undelivered shards alive, so
-	// the reorder buffer is bounded regardless of Cells.
+	// Collector: reorder shards and deliver outcomes in strictly
+	// ascending cell order. The token bucket keeps at most workers+1
+	// undelivered shards alive, so the reorder buffer is bounded
+	// regardless of Cells.
+	//
+	// Error determinism: an arriving shard error only halts DISPATCH of
+	// new shards; delivery continues in cell order until the erroring
+	// shard itself is reached. Shards below it were dispatched earlier
+	// (dispatch is ascending), so their outcomes always arrive and are
+	// delivered first — for every worker count the caller sees exactly
+	// the outcomes below the lowest failing cell, then that cell's
+	// error, matching what a sequential sweep would do. (The previous
+	// collector stopped delivering the moment any error ARRIVED, so the
+	// delivered prefix — and even which error was returned — depended on
+	// worker scheduling.)
 	pending := make(map[int]shardResult, workers)
 	next := 0 // next cell to deliver
 	var firstErr error
-	fail := func(err error) {
-		if firstErr == nil {
-			firstErr = err
-		}
-		halt()
-	}
+	done := false
 	for res := range results {
 		if res.err != nil {
-			fail(res.err)
+			halt() // stop dispatching; already-dispatched shards still arrive
 		}
 		pending[res.start] = res
-		for firstErr == nil {
+		for !done {
 			sr, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
 			for i, out := range sr.outs {
-				if err := deliver(next+i, out); err != nil {
-					fail(err)
+				if err := deliver(next, out); err != nil {
+					firstErr = err
+					halt()
+					done = true
 					break
 				}
 				sr.outs[i] = nil // release: streaming retains nothing
+				next++
 			}
-			<-tokens // shard delivered: let the dispatcher refill
-			if firstErr == nil {
-				next += len(sr.outs)
-				if next >= cfg.Cells {
-					// All delivered; drain remaining (empty) results.
-					break
-				}
+			<-tokens // shard consumed: let the dispatcher refill
+			if !done && sr.err != nil {
+				// The in-order walk reached the erroring shard: its
+				// completed cells are delivered, its failing cell's
+				// error is the sweep's verdict.
+				firstErr = sr.err
+				done = true
+			}
+			if next >= cfg.Cells {
+				done = true
 			}
 		}
+		// Keep draining results so workers never block on send.
 	}
 	return firstErr
 }

@@ -77,7 +77,11 @@ func Percentile(xs []float64, p float64) float64 {
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
-	if lo == hi {
+	// Equal closest ranks (including ties in the data) take the value
+	// directly: interpolating a*(1-f) + a*f can differ from a in the
+	// last bit, which matters to consumers comparing streamed and batch
+	// summaries for byte-identical tables.
+	if lo == hi || sorted[lo] == sorted[hi] {
 		return sorted[lo]
 	}
 	frac := rank - float64(lo)

@@ -79,10 +79,10 @@ func (a *Running) StdDev() float64 {
 // the P² algorithm (Jain & Chlamtac, CACM 1985): five markers track the
 // min, the target quantile, the two intermediate quantiles and the max,
 // and are nudged by a piecewise-parabolic update on every observation.
-// For fewer than five observations the estimate is exact (computed from
-// the buffered values with the same interpolation as the batch
-// Percentile). Like Running, the state is a deterministic function of the
-// observation sequence.
+// For up to five observations the estimate is exact (computed from the
+// buffered values with the same interpolation as the batch Percentile).
+// Like Running, the state is a deterministic function of the observation
+// sequence.
 type P2Quantile struct {
 	p    float64
 	n    int
@@ -178,15 +178,22 @@ func (e *P2Quantile) linear(i int, s float64) float64 {
 // N returns the number of observations.
 func (e *P2Quantile) N() int { return e.n }
 
-// Value returns the current quantile estimate. It is exact for fewer than
-// five observations and panics before the first one.
+// Value returns the current quantile estimate. It is exact for up to
+// five observations (computed from the buffered values with the same
+// interpolation as the batch Percentile) and panics before the first
+// one. At exactly five the buffer doubles as the freshly initialized
+// marker state — the previous implementation already returned the
+// middle marker q[2] there, which is the 50th percentile regardless of
+// the target quantile (for p = 0.95 and samples 1..5 that reads 3 where
+// the batch estimate is 4.8).
 func (e *P2Quantile) Value() float64 {
 	if e.n == 0 {
 		panic("stats: P2Quantile.Value before any observation")
 	}
-	if e.n < 5 {
-		buf := append([]float64(nil), e.q[:e.n]...)
-		return Percentile(buf, e.p*100)
+	if e.n <= 5 {
+		// Percentile copies (and never mutates) its input, so the
+		// buffer can be passed directly.
+		return Percentile(e.q[:e.n], e.p*100)
 	}
 	return e.q[2]
 }
@@ -194,8 +201,12 @@ func (e *P2Quantile) Value() float64 {
 // Stream accumulates the same descriptive statistics as Summarize —
 // count, mean, population standard deviation, min, max, p50, p95 — in
 // O(1) memory. Mean/min/max/stddev are exact; the percentiles are P²
-// estimates once the stream exceeds five observations. The zero value is
-// NOT ready to use; call NewStream.
+// estimates once the stream exceeds five observations. The two
+// percentile markers are independent estimators, so on duplicate-heavy
+// streams P50 can exceed P95 by a small margin (a property of P², found
+// by the stream_prop_test battery); consumers needing monotone
+// quantiles must sort the pair. The zero value is NOT ready to use;
+// call NewStream.
 type Stream struct {
 	Running
 	p50, p95 *P2Quantile

@@ -144,6 +144,22 @@ func (o *Outcome) CheckKAgreement(k int) error {
 	return nil
 }
 
+// CheckDecisionFloor returns an error if any process decided before the
+// given round floor. Algorithm 1's line-28 guard admits connectivity
+// decisions only from round n (2n-1 with the conservative repair), and
+// line-12 adoptions can only follow an earlier decision, so no decision
+// round may precede the floor; the falsification engine (internal/check)
+// uses this as an oracle against guard regressions.
+func (o *Outcome) CheckDecisionFloor(floor int) error {
+	for i, r := range o.DecideRounds {
+		if o.Decided[i] && r < floor {
+			return fmt.Errorf("trace: p%d decided in round %d, before the floor %d",
+				i+1, r, floor)
+		}
+	}
+	return nil
+}
+
 // Check verifies termination, validity, and k-agreement together.
 func (o *Outcome) Check(k int) error {
 	if err := o.CheckTermination(); err != nil {

@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"kset/internal/core"
 	"kset/internal/graph"
@@ -32,6 +33,13 @@ var (
 	// ErrBadKind reports an unknown message tag.
 	ErrBadKind = errors.New("wire: unknown message kind")
 )
+
+// MaxUniverse is the largest universe size Decode accepts. A labeled
+// graph costs Θ(n²) ints, so untrusted headers must not be able to
+// demand huge universes from a few input bytes (found by FuzzDecode: a
+// short input could previously request n = 2^20, an 8 TiB matrix).
+// Simulated systems are orders of magnitude below this bound.
+const MaxUniverse = 4096
 
 // Encode serializes a message into a fresh buffer.
 func Encode(m core.Message) []byte {
@@ -92,7 +100,7 @@ func Decode(buf []byte) (core.Message, error) {
 	}
 	buf = buf[k:]
 	n := int(un)
-	if n < 0 || n > 1<<20 {
+	if n < 0 || n > MaxUniverse {
 		return m, fmt.Errorf("wire: implausible universe size %d", n)
 	}
 	bmLen := (n + 7) / 8
@@ -112,6 +120,11 @@ func Decode(buf []byte) (core.Message, error) {
 		return m, ErrTruncated
 	}
 	buf = buf[k:]
+	// Each stored edge is at least three varint bytes; reject lying
+	// headers before looping.
+	if edges > uint64(len(buf))/3 {
+		return m, fmt.Errorf("wire: edge count %d exceeds remaining input %d", edges, len(buf))
+	}
 	for i := uint64(0); i < edges; i++ {
 		u, k := binary.Uvarint(buf)
 		if k <= 0 {
@@ -128,11 +141,16 @@ func Decode(buf []byte) (core.Message, error) {
 			return m, ErrTruncated
 		}
 		buf = buf[k:]
-		if int(u) >= n || int(v) >= n {
+		// Compare in uint64 space: a >= 2^63 varint would overflow int to
+		// a negative value and sail past an int comparison (the runfile
+		// decoder had exactly this bug, found by FuzzDecode).
+		if u >= uint64(n) || v >= uint64(n) {
 			return m, fmt.Errorf("wire: edge endpoint out of universe")
 		}
-		if label == 0 {
-			return m, fmt.Errorf("wire: zero edge label")
+		if label == 0 || label > math.MaxInt32 {
+			// The upper bound also keeps int(label) positive on 32-bit
+			// platforms, where a larger value would wrap.
+			return m, fmt.Errorf("wire: implausible edge label %d", label)
 		}
 		g.MergeEdge(int(u), int(v), int(label))
 	}
