@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: kset
+BenchmarkHotTransition/n=8-8         	  500000	      2000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotTransition/n=8-8         	  500000	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotTransition/n=8-8         	  500000	      1900 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotPrune-8                  	  100000	     10000 ns/op	      64 B/op	       2 allocs/op
+PASS
+ok  	kset	1.234s
+`
+
+func writeBaseline(t *testing.T, dir string) string {
+	t.Helper()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "baseline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-record", "-input", in, "-out", base}, &out); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestRecordProducesMedians(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir)
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := b.Benchmarks["BenchmarkHotTransition/n=8"]
+	if !ok {
+		t.Fatalf("missing benchmark (GOMAXPROCS suffix not stripped?): %v", b.Benchmarks)
+	}
+	if tr.NsPerOp != 2000 || tr.AllocsPerOp != 0 || tr.Samples != 3 {
+		t.Fatalf("median aggregation wrong: %+v", tr)
+	}
+	if b.Benchmarks["BenchmarkHotPrune"].AllocsPerOp != 2 {
+		t.Fatalf("allocs not parsed: %+v", b.Benchmarks["BenchmarkHotPrune"])
+	}
+}
+
+func compareWith(t *testing.T, base, benchText string, extraArgs ...string) (string, error) {
+	t.Helper()
+	dir := t.TempDir()
+	in := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(in, []byte(benchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	args := append([]string{"-compare", base, "-input", in}, extraArgs...)
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := writeBaseline(t, t.TempDir())
+	newRun := strings.ReplaceAll(sampleBench, "2000 ns/op", "2200 ns/op") // +10%
+	out, err := compareWith(t, base, newRun)
+	if err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "benchmark gate PASS") {
+		t.Fatalf("missing PASS line:\n%s", out)
+	}
+}
+
+func TestCompareFailsOnNsRegression(t *testing.T) {
+	base := writeBaseline(t, t.TempDir())
+	slow := strings.NewReplacer(
+		"2000 ns/op", "3000 ns/op",
+		"2100 ns/op", "3100 ns/op",
+		"1900 ns/op", "2900 ns/op").Replace(sampleBench)
+	out, err := compareWith(t, base, slow)
+	if err == nil {
+		t.Fatalf("+50%% ns/op passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL ns/op") {
+		t.Fatalf("missing ns verdict:\n%s", out)
+	}
+}
+
+func TestCompareFailsOnZeroAllocRegression(t *testing.T) {
+	base := writeBaseline(t, t.TempDir())
+	alloc := strings.ReplaceAll(sampleBench, "0 allocs/op", "1 allocs/op")
+	out, err := compareWith(t, base, alloc)
+	if err == nil {
+		t.Fatalf("new allocation on a 0-alloc path passed:\n%s", out)
+	}
+	if !strings.Contains(out, "0-alloc path now allocates") {
+		t.Fatalf("missing 0-alloc verdict:\n%s", out)
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	base := writeBaseline(t, t.TempDir())
+	gone := strings.ReplaceAll(sampleBench, "BenchmarkHotPrune", "BenchmarkRenamed")
+	out, err := compareWith(t, base, gone)
+	if err == nil {
+		t.Fatalf("missing benchmark passed:\n%s", out)
+	}
+	if !strings.Contains(out, "missing from new run") {
+		t.Fatalf("missing-benchmark verdict absent:\n%s", out)
+	}
+}
+
+func TestCompareWritesReport(t *testing.T) {
+	base := writeBaseline(t, t.TempDir())
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	if _, err := compareWith(t, base, sampleBench, "-report", report); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmp Comparison
+	if err := json.Unmarshal(raw, &cmp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 2 || len(cmp.Failures) != 0 {
+		t.Fatalf("report content: %+v", cmp)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("neither -record nor -compare rejected? no")
+	}
+	if err := run([]string{"-record", "-compare", "x"}, &out); err == nil {
+		t.Fatal("both -record and -compare accepted")
+	}
+}

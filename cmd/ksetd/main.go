@@ -1,0 +1,99 @@
+// Command ksetd is the long-running agreement service: it serves the
+// batched session-submission API of internal/service over HTTP,
+// executing each k-set-agreement session on the distributed runtime
+// (goroutine-per-process over an in-proc or TCP transport) with a
+// bounded worker pool, and exposing /healthz and Prometheus-style
+// /metrics.
+//
+// Usage:
+//
+//	ksetd [-addr 127.0.0.1:8347] [-workers 8] [-queue 256] [-maxn 128] [-retain 4096]
+//
+// The API surface (see DESIGN.md §7 and internal/service):
+//
+//	POST /v1/sessions          submit a batch of sessions
+//	GET  /v1/sessions/{id}     poll one session
+//	GET  /v1/sessions?status=  list sessions
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text format
+//
+// ksetd shuts down gracefully on SIGINT/SIGTERM: the HTTP server drains,
+// running sessions finish, queued ones are failed with a shutdown error.
+// Drive it with cmd/ksetload (the CI gauntlet boots ksetd and pushes 100
+// concurrent sessions through this API over TCP).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kset/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ksetd: ")
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable entry point: it serves until args are invalid,
+// the listener fails, or ctx is canceled (graceful shutdown).
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ksetd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", "127.0.0.1:8347", "listen address")
+	workers := fs.Int("workers", 8, "concurrent session executions")
+	queue := fs.Int("queue", 256, "bounded queue of accepted sessions (backpressure beyond it)")
+	maxn := fs.Int("maxn", 128, "largest per-session process count accepted")
+	retain := fs.Int("retain", 4096, "finished sessions kept for polling before eviction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	svc := service.New(service.Config{
+		Workers: *workers,
+		Queue:   *queue,
+		MaxN:    *maxn,
+		Retain:  *retain,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "ksetd listening on %s (workers=%d queue=%d maxn=%d)\n",
+		ln.Addr(), *workers, *queue, *maxn)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "ksetd: graceful shutdown complete")
+		return nil
+	}
+}

@@ -1,0 +1,352 @@
+// Command ksetload drives the distributed stack for smoke tests and the
+// E18 throughput measurements.
+//
+// Service mode exercises a running ksetd over its TCP HTTP API — the CI
+// gauntlet's e2e smoke:
+//
+//	ksetload -mode service -addr http://127.0.0.1:8347 \
+//	    -sessions 100 -batch 10 -clients 4 [-n 8] [-seed 1] [-timeout 120s]
+//
+// It waits for /healthz, submits the sessions in concurrent batches,
+// polls every session to completion, fails unless every session decided
+// within the k-bound (distinct <= MinK), scrapes /metrics for
+// consistent counters, and reports sessions/sec.
+//
+// Runtime mode measures raw round throughput of one distributed run —
+// rounds/sec over in-proc channels, TCP loopback, or the lockstep
+// simulator for reference (EXPERIMENTS.md §E18):
+//
+//	ksetload -mode runtime -transport inproc|tcp|sim -n 16 -rounds 200 -trials 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kset/internal/adversary"
+	"kset/internal/runtime"
+	"kset/internal/service"
+	"kset/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ksetload: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ksetload", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	mode := fs.String("mode", "service", "service (drive a ksetd) or runtime (rounds/sec measurement)")
+	// Service mode.
+	addr := fs.String("addr", "http://127.0.0.1:8347", "base URL of the ksetd under test")
+	sessions := fs.Int("sessions", 100, "total sessions to submit")
+	batch := fs.Int("batch", 10, "sessions per submission request")
+	clients := fs.Int("clients", 4, "concurrent submitting/polling clients")
+	timeout := fs.Duration("timeout", 120*time.Second, "overall deadline for the service smoke")
+	wait := fs.Duration("wait", 30*time.Second, "how long to wait for /healthz")
+	// Shared / runtime mode.
+	n := fs.Int("n", 8, "processes per session/run")
+	seed := fs.Int64("seed", 1, "base seed")
+	transport := fs.String("transport", "inproc", "runtime mode: inproc, tcp, or sim (lockstep reference)")
+	rounds := fs.Int("rounds", 200, "runtime mode: rounds per trial")
+	trials := fs.Int("trials", 3, "runtime mode: trials (median reported)")
+	asJSON := fs.Bool("json", false, "emit a JSON summary instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	switch *mode {
+	case "service":
+		return runService(stdout, *addr, *sessions, *batch, *clients, *n, *seed, *timeout, *wait, *asJSON)
+	case "runtime":
+		return runRuntime(stdout, *transport, *n, *rounds, *trials, *seed, *asJSON)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// serviceSummary is the -json output of service mode.
+type serviceSummary struct {
+	Sessions       int     `json:"sessions"`
+	Seconds        float64 `json:"seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	RoundsTotal    int     `json:"rounds_total"`
+	Completed      int     `json:"metrics_completed_total"`
+}
+
+func runService(stdout io.Writer, addr string, total, batch, clients, n int, seed int64, timeout, wait time.Duration, asJSON bool) error {
+	if batch < 1 || total < 1 || clients < 1 {
+		return fmt.Errorf("need positive -sessions, -batch, -clients")
+	}
+	addr = strings.TrimRight(addr, "/")
+	if err := waitHealthy(addr, wait); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	families := []string{"rooted", "single_source", "lowerbound", "partition_merge", "vertex_stable", "complete"}
+	specs := make([]service.SessionSpec, total)
+	for i := range specs {
+		sn := 2 + (n+i)%15
+		specs[i] = service.SessionSpec{
+			N:      sn,
+			Family: families[i%len(families)],
+			Seed:   seed + int64(i),
+			Noisy:  i % 5,
+			Roots:  1 + i%min(3, sn),
+		}
+	}
+
+	start := time.Now()
+	ids := make([]string, 0, total)
+	type submitOut struct {
+		ids []string
+		err error
+	}
+	work := make(chan []service.SessionSpec, (total+batch-1)/batch)
+	for lo := 0; lo < total; lo += batch {
+		hi := min(lo+batch, total)
+		work <- specs[lo:hi]
+	}
+	close(work)
+	outs := make(chan submitOut, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			var got []string
+			for b := range work {
+				ids, err := submitBatch(addr, b)
+				if err != nil {
+					outs <- submitOut{err: err}
+					return
+				}
+				got = append(got, ids...)
+			}
+			outs <- submitOut{ids: got}
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		o := <-outs
+		if o.err != nil {
+			return o.err
+		}
+		ids = append(ids, o.ids...)
+	}
+	if len(ids) != total {
+		return fmt.Errorf("service accepted %d of %d sessions", len(ids), total)
+	}
+
+	roundsTotal := 0
+	for _, id := range ids {
+		sess, err := pollDone(addr, id, deadline)
+		if err != nil {
+			return err
+		}
+		if sess.Status != "done" {
+			return fmt.Errorf("session %s %s: %s", id, sess.Status, sess.Error)
+		}
+		if !sess.Result.KBound {
+			return fmt.Errorf("session %s violated the k-bound: %d distinct > MinK %d",
+				id, len(sess.Result.Distinct), sess.Result.MinK)
+		}
+		if !sess.Result.AllDecided {
+			return fmt.Errorf("session %s left processes undecided", id)
+		}
+		roundsTotal += sess.Result.Rounds
+	}
+	elapsed := time.Since(start)
+
+	metrics, err := scrapeMetrics(addr)
+	if err != nil {
+		return err
+	}
+	completed := metrics["ksetd_sessions_completed_total"]
+	if completed < total {
+		return fmt.Errorf("metrics report %d completed sessions, want >= %d", completed, total)
+	}
+	if metrics["ksetd_rounds_total"] == 0 {
+		return fmt.Errorf("metrics report zero rounds executed")
+	}
+	if v := metrics["ksetd_kbound_violations_total"]; v != 0 {
+		return fmt.Errorf("metrics report %d k-bound violations", v)
+	}
+
+	sum := serviceSummary{
+		Sessions:       total,
+		Seconds:        elapsed.Seconds(),
+		SessionsPerSec: float64(total) / elapsed.Seconds(),
+		RoundsTotal:    roundsTotal,
+		Completed:      completed,
+	}
+	if asJSON {
+		return json.NewEncoder(stdout).Encode(sum)
+	}
+	fmt.Fprintf(stdout, "service smoke PASS: %d sessions in %.2fs (%.1f sessions/sec, %d rounds); all decisions within the k-bound\n",
+		sum.Sessions, sum.Seconds, sum.SessionsPerSec, sum.RoundsTotal)
+	return nil
+}
+
+func waitHealthy(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service at %s not healthy after %v (last error: %v)", addr, wait, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func submitBatch(addr string, specs []service.SessionSpec) ([]string, error) {
+	body, err := json.Marshal(service.BatchRequest{Sessions: specs})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(addr+"/v1/sessions", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var br service.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	var ids []string
+	for i, r := range br.Results {
+		if r.Error != "" {
+			return nil, fmt.Errorf("submit: spec %d rejected: %s", i, r.Error)
+		}
+		ids = append(ids, r.ID)
+	}
+	return ids, nil
+}
+
+func pollDone(addr, id string, deadline time.Time) (service.Session, error) {
+	for {
+		resp, err := http.Get(addr + "/v1/sessions/" + id)
+		if err != nil {
+			return service.Session{}, err
+		}
+		var sess service.Session
+		err = json.NewDecoder(resp.Body).Decode(&sess)
+		resp.Body.Close()
+		if err != nil {
+			return service.Session{}, err
+		}
+		if sess.Status == "done" || sess.Status == "failed" {
+			return sess, nil
+		}
+		if time.Now().After(deadline) {
+			return sess, fmt.Errorf("session %s still %s at deadline", id, sess.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var metricLine = regexp.MustCompile(`(?m)^(ksetd_[a-z_]+) (\d+)$`)
+
+func scrapeMetrics(addr string) (map[string]int, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int{}
+	for _, m := range metricLine.FindAllStringSubmatch(string(raw), -1) {
+		v, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("metric %s: %v", m[1], err)
+		}
+		out[m[1]] = v
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no ksetd_ metrics in scrape")
+	}
+	return out, nil
+}
+
+// runtimeSummary is the -json output of runtime mode.
+type runtimeSummary struct {
+	Transport    string  `json:"transport"`
+	N            int     `json:"n"`
+	Rounds       int     `json:"rounds"`
+	Trials       int     `json:"trials"`
+	Seconds      float64 `json:"seconds_median"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
+func runRuntime(stdout io.Writer, transport string, n, roundCount, trials int, seed int64, asJSON bool) error {
+	if n < 1 || roundCount < 1 || trials < 1 {
+		return fmt.Errorf("need positive -n, -rounds, -trials")
+	}
+	var secs []float64
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(seed + int64(trial)))
+		spec := sim.Spec{
+			Adversary:       adversary.RandomSingleSource(n, 0, 0.2, 0, rng),
+			Proposals:       sim.SeqProposals(n),
+			MaxRounds:       roundCount,
+			RunToCompletion: true,
+		}
+		switch transport {
+		case "sim":
+			// Lockstep reference: no Runner override.
+		case "inproc":
+			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{})
+		case "tcp":
+			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{TCP: true})
+		default:
+			return fmt.Errorf("unknown transport %q (want inproc, tcp, or sim)", transport)
+		}
+		start := time.Now()
+		if _, err := sim.Execute(spec); err != nil {
+			return err
+		}
+		secs = append(secs, time.Since(start).Seconds())
+	}
+	sort.Float64s(secs)
+	med := secs[len(secs)/2]
+	sum := runtimeSummary{
+		Transport:    transport,
+		N:            n,
+		Rounds:       roundCount,
+		Trials:       trials,
+		Seconds:      med,
+		RoundsPerSec: float64(roundCount) / med,
+	}
+	if asJSON {
+		return json.NewEncoder(stdout).Encode(sum)
+	}
+	fmt.Fprintf(stdout, "runtime %s: n=%d rounds=%d median %.3fs (%.0f rounds/sec)\n",
+		sum.Transport, sum.N, sum.Rounds, sum.Seconds, sum.RoundsPerSec)
+	return nil
+}

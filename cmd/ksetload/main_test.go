@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kset/internal/service"
+)
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"positional"},
+		{"-mode", "no-such-mode"},
+		{"-mode", "runtime", "-transport", "avian"},
+		{"-mode", "runtime", "-n", "0"},
+		{"-mode", "service", "-sessions", "0"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRuntimeModeMeasures(t *testing.T) {
+	for _, tr := range []string{"sim", "inproc", "tcp"} {
+		var out bytes.Buffer
+		err := run([]string{"-mode", "runtime", "-transport", tr,
+			"-n", "4", "-rounds", "20", "-trials", "1", "-json"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		var sum runtimeSummary
+		if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+			t.Fatalf("%s: bad JSON %q: %v", tr, out.String(), err)
+		}
+		if sum.Transport != tr || sum.RoundsPerSec <= 0 {
+			t.Fatalf("%s: summary %+v", tr, sum)
+		}
+	}
+}
+
+// TestServiceModeSmoke drives the full service-mode flow against an
+// in-process ksetd core — the same path the CI gauntlet exercises
+// against the real binary.
+func TestServiceModeSmoke(t *testing.T) {
+	svc := service.New(service.Config{Workers: 4, Queue: 128})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-mode", "service", "-addr", srv.URL,
+		"-sessions", "30", "-batch", "6", "-clients", "3", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatalf("service smoke: %v\noutput: %s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "service smoke PASS") {
+		t.Fatalf("missing PASS line: %s", out.String())
+	}
+}
+
+func TestServiceModeReportsUnhealthy(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-mode", "service", "-addr", "http://127.0.0.1:1",
+		"-sessions", "1", "-wait", "200ms"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "not healthy") {
+		t.Fatalf("unreachable service: err = %v", err)
+	}
+}

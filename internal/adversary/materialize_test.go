@@ -1,0 +1,38 @@
+package adversary
+
+import (
+	"testing"
+)
+
+func TestMaterializeRunPassesThroughRuns(t *testing.T) {
+	run := Figure1()
+	if got := MaterializeRun(run, 50); got != run {
+		t.Fatal("materializing a *Run did not return it unchanged")
+	}
+}
+
+func TestMaterializeRunMatchesGenerator(t *testing.T) {
+	// A stabilizing generator: equivalence must hold for every round,
+	// even beyond upTo (the Stabilizer short-circuit).
+	gen := NewPartitionMerge(8, 4, 2, 3)
+	upTo := 12
+	mat := MaterializeRun(gen, upTo)
+	for r := 1; r <= gen.StabilizationRound()+5; r++ {
+		if !mat.Graph(r).Equal(gen.Graph(r)) {
+			t.Fatalf("round %d differs between generator and materialization", r)
+		}
+	}
+	if !mat.StableSkeleton().Equal(gen.StableSkeleton()) {
+		t.Fatal("stable skeletons differ")
+	}
+
+	// A never-stabilizing generator: equivalence is only promised up to
+	// upTo.
+	vs := NewVertexStableRoot(6, 2, 0.3, 7)
+	matVS := MaterializeRun(vs, upTo)
+	for r := 1; r <= upTo; r++ {
+		if !matVS.Graph(r).Equal(vs.Graph(r)) {
+			t.Fatalf("round %d differs for the non-stabilizing generator", r)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import "sync"
 // same Config (the test suite checks trace equality); use it when process
 // transitions are expensive enough to benefit from parallelism.
 func RunConcurrent(cfg Config) (*Result, error) {
-	n, err := cfg.validate()
+	n, err := cfg.Validate()
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +87,7 @@ func RunConcurrent(cfg Config) (*Result, error) {
 			msgs[m.from] = m.msg
 		}
 		g := cfg.Adversary.Graph(r)
-		if err := checkGraph(g, n, r); err != nil {
+		if err := CheckGraph(g, n, r); err != nil {
 			stop()
 			return nil, err
 		}

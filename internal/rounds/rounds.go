@@ -149,7 +149,11 @@ func AllDecided(_ int, procs []Algorithm) bool {
 	return true
 }
 
-func (c *Config) validate() (int, error) {
+// Validate checks the Config's structural requirements and returns the
+// number of processes. Exported for alternative executors (the
+// distributed runtime in internal/runtime), which must enforce exactly
+// the same contract as the in-package ones.
+func (c *Config) Validate() (int, error) {
 	if c.Adversary == nil {
 		return 0, errors.New("rounds: Config.Adversary is nil")
 	}
@@ -166,10 +170,11 @@ func (c *Config) validate() (int, error) {
 	return n, nil
 }
 
-// checkGraph enforces the model's structural requirements on a round
+// CheckGraph enforces the model's structural requirements on a round
 // graph: correct universe, all nodes present, all self-loops (every
-// process hears itself; cf. Figure 1's caption).
-func checkGraph(g *graph.Digraph, n, r int) error {
+// process hears itself; cf. Figure 1's caption). Exported for
+// alternative executors (internal/runtime).
+func CheckGraph(g *graph.Digraph, n, r int) error {
 	if g == nil {
 		return fmt.Errorf("rounds: adversary returned nil graph for round %d", r)
 	}

@@ -7,7 +7,7 @@ import "kset/internal/graph"
 // transitions, notify the observer, repeat. It is the executor of choice
 // for tests and benchmarks (no scheduling noise, fully deterministic).
 func RunSequential(cfg Config) (*Result, error) {
-	n, err := cfg.validate()
+	n, err := cfg.Validate()
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +31,7 @@ func RunSequential(cfg Config) (*Result, error) {
 			msgs[i] = p.Send(r)
 		}
 		g := cfg.Adversary.Graph(r)
-		if err := checkGraph(g, n, r); err != nil {
+		if err := CheckGraph(g, n, r); err != nil {
 			return nil, err
 		}
 		deliver(g, msgs, recvBufs)

@@ -1,0 +1,90 @@
+package runtime
+
+import (
+	"fmt"
+
+	"kset/internal/core"
+	"kset/internal/wire"
+)
+
+// Codec translates between an algorithm's in-memory messages and the
+// byte payloads a transport carries. Codec values are shared by every
+// process goroutine and must be stateless; per-goroutine decode state
+// lives in the Decoder each goroutine obtains from NewDecoder.
+type Codec interface {
+	// Encode appends msg's wire form to dst and returns the extended
+	// buffer (the runtime reuses dst across rounds).
+	Encode(dst []byte, msg any) ([]byte, error)
+	// NewDecoder returns a decoder for one process goroutine on an
+	// n-process transport.
+	NewDecoder(n int) Decoder
+}
+
+// Decoder decodes one sender's payloads. The returned message is valid
+// only until the next Decode call for the same sender — decoders reuse
+// per-sender scratch, mirroring the round model's "messages are valid
+// for the duration of the Transition call" contract.
+type Decoder interface {
+	Decode(from int, payload []byte) (any, error)
+}
+
+// WireCodec carries Algorithm 1 messages in the canonical internal/wire
+// encoding — the same bytes the E5 bit-complexity experiment meters.
+type WireCodec struct{}
+
+// Encode implements Codec; msg must be a *core.Message (what
+// core.Process.Send returns).
+func (WireCodec) Encode(dst []byte, msg any) ([]byte, error) {
+	m, ok := msg.(*core.Message)
+	if !ok {
+		return nil, fmt.Errorf("runtime: WireCodec got %T, want *core.Message", msg)
+	}
+	return wire.AppendEncode(dst, *m), nil
+}
+
+// NewDecoder implements Codec.
+func (WireCodec) NewDecoder(n int) Decoder {
+	return &wireDecoder{msgs: make([]core.Message, n)}
+}
+
+// wireDecoder keeps one scratch message per sender, so steady-state
+// decoding reuses graph storage (wire.DecodeInto) instead of allocating
+// a fresh Θ(n²) graph per message per round.
+type wireDecoder struct {
+	msgs []core.Message
+}
+
+// Decode implements Decoder.
+func (d *wireDecoder) Decode(from int, payload []byte) (any, error) {
+	if from < 0 || from >= len(d.msgs) {
+		return nil, fmt.Errorf("runtime: decode from out-of-range sender %d", from)
+	}
+	m := &d.msgs[from]
+	if err := wire.DecodeInto(payload, m); err != nil {
+		return nil, fmt.Errorf("runtime: decode message from p%d: %w", from+1, err)
+	}
+	return m, nil
+}
+
+// RawCodec carries opaque byte slices unchanged — for algorithms (and
+// tests) whose messages already are bytes. Decode hands the transport's
+// payload through without copying; the round-scoped validity contract
+// is the transport's.
+type RawCodec struct{}
+
+// Encode implements Codec; msg must be a []byte.
+func (RawCodec) Encode(dst []byte, msg any) ([]byte, error) {
+	b, ok := msg.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("runtime: RawCodec got %T, want []byte", msg)
+	}
+	return append(dst, b...), nil
+}
+
+// NewDecoder implements Codec.
+func (RawCodec) NewDecoder(n int) Decoder { return rawDecoder{} }
+
+type rawDecoder struct{}
+
+// Decode implements Decoder.
+func (rawDecoder) Decode(from int, payload []byte) (any, error) { return payload, nil }

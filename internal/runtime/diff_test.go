@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kset/internal/adversary"
+	"kset/internal/rounds"
+	"kset/internal/runfile"
+)
+
+// TestDifferentialSuiteInProc replays the full E1–E16 schedule suite on
+// the distributed runtime over the in-process transport and requires
+// outcome-for-outcome equality with the simulator. One n also runs with
+// jittered link delays: timing skew must not leak into decisions.
+func TestDifferentialSuiteInProc(t *testing.T) {
+	ns := []int{4, 8, 16}
+	if testing.Short() {
+		ns = []int{4, 8}
+	}
+	for _, n := range ns {
+		for _, sched := range ScheduleSuite(n, int64(1000+n)) {
+			opts := DiffOpts{}
+			if n == 8 {
+				opts.Jitter = 100 * time.Microsecond
+				opts.JitterSeed = int64(n)
+			}
+			if err := Diff(sched.Spec, opts); err != nil {
+				t.Errorf("n=%d %s: %v", n, sched.Name, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialSuiteTCP replays the full suite over real TCP
+// loopback sockets with jittered delays.
+func TestDifferentialSuiteTCP(t *testing.T) {
+	n := 6
+	for _, sched := range ScheduleSuite(n, 2026) {
+		opts := DiffOpts{TCP: true, Jitter: 200 * time.Microsecond, JitterSeed: 7}
+		if err := Diff(sched.Spec, opts); err != nil {
+			t.Errorf("n=%d %s: %v", n, sched.Name, err)
+		}
+	}
+}
+
+// TestDifferentialNightly is the long-budget harness the nightly CI
+// workflow runs (KSET_NIGHTLY=1): the full suite at n up to 32, several
+// seeds, both transports. On divergence it writes the materialized
+// schedule as a .ksr runfile into KSET_ARTIFACT_DIR, so the workflow
+// can upload a replayable counterexample.
+func TestDifferentialNightly(t *testing.T) {
+	if os.Getenv("KSET_NIGHTLY") == "" {
+		t.Skip("nightly differential harness; set KSET_NIGHTLY=1 to run")
+	}
+	artifactDir := os.Getenv("KSET_ARTIFACT_DIR")
+	for _, n := range []int{8, 16, 24, 32} {
+		for seed := int64(1); seed <= 3; seed++ {
+			for _, sched := range ScheduleSuite(n, seed) {
+				configs := []DiffOpts{
+					{},
+					{Jitter: 150 * time.Microsecond, JitterSeed: seed},
+				}
+				if n <= 16 {
+					configs = append(configs, DiffOpts{TCP: true, JitterSeed: seed})
+				}
+				for i, opts := range configs {
+					err := Diff(sched.Spec, opts)
+					if err == nil {
+						continue
+					}
+					t.Errorf("n=%d seed=%d %s (config %d): %v", n, seed, sched.Name, i, err)
+					if artifactDir != "" {
+						writeDivergenceArtifact(t, artifactDir, sched, n, seed, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// writeDivergenceArtifact materializes the diverging schedule and drops
+// it as a runfile plus a human-readable report next to it.
+func writeDivergenceArtifact(t *testing.T, dir string, sched NamedSchedule, n int, seed int64, derr error) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	adv := sched.Spec.Adversary
+	maxRounds := sched.Spec.MaxRounds
+	if maxRounds == 0 {
+		if s, ok := adv.(rounds.Stabilizer); ok {
+			maxRounds = s.StabilizationRound() + 2*adv.N() + 5
+		} else {
+			maxRounds = 12 * adv.N()
+		}
+	}
+	base := filepath.Join(dir, fmt.Sprintf("diff-%s-n%d-seed%d", sched.Name, n, seed))
+	if err := runfile.WriteFile(base+".ksr", adversary.MaterializeRun(adv, maxRounds)); err != nil {
+		t.Logf("write runfile artifact: %v", err)
+	}
+	report := fmt.Sprintf("schedule %s (n=%d, seed=%d)\nproposals %v\nopts %+v\ndivergence: %v\n",
+		sched.Name, n, seed, sched.Spec.Proposals, sched.Spec.Opts, derr)
+	if err := os.WriteFile(base+".txt", []byte(report), 0o644); err != nil {
+		t.Logf("write report artifact: %v", err)
+	}
+}
+
+// TestScheduleSuiteCoversE1ThroughE16 pins that the differential corpus
+// really spans every experiment family.
+func TestScheduleSuiteCoversE1ThroughE16(t *testing.T) {
+	suite := ScheduleSuite(8, 1)
+	seen := map[string]bool{}
+	for _, s := range suite {
+		fam := strings.SplitN(s.Name, "-", 2)[0]
+		seen[fam] = true
+		if s.Spec.Adversary == nil {
+			t.Fatalf("%s: nil adversary", s.Name)
+		}
+		if len(s.Spec.Proposals) != s.Spec.Adversary.N() {
+			t.Fatalf("%s: %d proposals for n=%d", s.Name, len(s.Spec.Proposals), s.Spec.Adversary.N())
+		}
+	}
+	for e := 1; e <= 16; e++ {
+		if !seen[fmt.Sprintf("E%d", e)] {
+			t.Errorf("suite has no schedule for experiment family E%d", e)
+		}
+	}
+}

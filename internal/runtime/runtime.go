@@ -1,0 +1,265 @@
+// Package runtime executes the round model as a real distributed system:
+// one goroutine per process running its algorithm end-to-end, messages
+// crossing a pluggable transport (internal/transport) as encoded bytes,
+// and per-link drops/delays injected by the transport's policy instead
+// of a lock-step delivery loop. It is the second, independent
+// implementation of the executor contract in internal/rounds — the
+// differential harness in this package (Diff) proves it
+// decision-for-decision identical to the simulator, in the same spirit
+// as the differential baselines in internal/baseline and the
+// model-checker's brute-force cross-check in internal/check.
+//
+// # Determinism
+//
+// A run is fully determined by (schedule, proposals, options): rounds
+// are communication-closed, transitions are deterministic, and the
+// transport's fault injection is a pure function of (round, link). Real
+// concurrency — goroutine scheduling, TCP timing, jittered link delays —
+// can therefore change only wall-clock phase, never decisions. That is
+// not assumed but enforced: Diff replays any schedule over a transport
+// and compares every per-process decision, decision round, and skeleton
+// measurement against sim.Execute on the same schedule and seed.
+//
+// # Control plane
+//
+// Data-plane messages (the algorithm's (tag, x, G) broadcasts) travel
+// over the transport. Round pacing is a thin control plane on the
+// runner: after its round-r transition, each process reports to the
+// controller, which runs the observers and the stop predicate against
+// the quiescent round-r state and releases round r+1 — or ends the run.
+// The barrier also bounds transport lookahead at one round, so per-link
+// buffering stays O(1).
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kset/internal/adversary"
+	"kset/internal/rounds"
+	"kset/internal/transport"
+)
+
+// report is one process's round-completion message to the controller.
+type report struct {
+	self  int
+	round int
+	err   error
+}
+
+// Run executes cfg with one goroutine per process over the given
+// transport. It enforces exactly the contract of rounds.RunSequential /
+// RunConcurrent (same Config validation, same graph checks, same
+// observer and stop semantics) and produces the identical Result for
+// the identical inputs, provided the transport's drop policy replays
+// cfg.Adversary (see NewRunner, which wires that up).
+//
+// Run owns the transport: it is closed before Run returns, on every
+// path. cfg.Adversary is read concurrently by the controller and — via
+// the transport policy — by every process goroutine, so it must be safe
+// for concurrent Graph calls (adversary.MaterializeRun makes any
+// adversary so).
+func Run(cfg rounds.Config, tr transport.Transport, codec Codec) (*rounds.Result, error) {
+	defer tr.Close()
+	n, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if tr.N() != n {
+		return nil, fmt.Errorf("runtime: transport has %d endpoints, adversary has %d processes", tr.N(), n)
+	}
+	if codec == nil {
+		codec = WireCodec{}
+	}
+
+	procs := make([]rounds.Algorithm, n)
+	for i := 0; i < n; i++ {
+		procs[i] = cfg.NewProcess(i)
+		procs[i].Init(i, n)
+	}
+
+	var (
+		reports = make(chan report, n)
+		conts   = make([]chan bool, n)
+		stop    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	for i := range conts {
+		conts[i] = make(chan bool, 1)
+	}
+
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(self int, p rounds.Algorithm) {
+			defer wg.Done()
+			runProcess(self, n, p, tr, codec, reports, conts[self], stop)
+		}(i, procs[i])
+	}
+
+	res := &rounds.Result{Procs: procs}
+	var runErr error
+loop:
+	for r := 1; r <= cfg.MaxRounds; r++ {
+		g := cfg.Adversary.Graph(r)
+		if err := rounds.CheckGraph(g, n, r); err != nil {
+			runErr = err
+			break
+		}
+		for i := 0; i < n; i++ {
+			rep := <-reports
+			if rep.err != nil {
+				runErr = rep.err
+				break loop
+			}
+			if rep.round != r {
+				runErr = fmt.Errorf("runtime: p%d reported round %d during round %d", rep.self+1, rep.round, r)
+				break loop
+			}
+		}
+		// All round-r transitions are complete and every process is
+		// parked awaiting release: the quiescent state observers and
+		// stop predicates are defined on.
+		res.Rounds = r
+		if cfg.Observer != nil {
+			cfg.Observer.OnRound(r, g, procs)
+		}
+		stopNow := r == cfg.MaxRounds
+		if cfg.StopWhen != nil && cfg.StopWhen(r, procs) {
+			res.Stopped = true
+			stopNow = true
+		}
+		for i := range conts {
+			conts[i] <- !stopNow
+		}
+		if stopNow {
+			break
+		}
+	}
+	close(stop)
+	tr.Close()
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// runProcess is one process goroutine: encode-broadcast-gather-decode-
+// transition, then rendezvous with the controller, every round until
+// released or aborted.
+func runProcess(self, n int, p rounds.Algorithm, tr transport.Transport, codec Codec, reports chan<- report, cont <-chan bool, stop <-chan struct{}) {
+	sendReport := func(rep report) bool {
+		select {
+		case reports <- rep:
+			return true
+		case <-stop:
+			return false
+		}
+	}
+	ep, err := tr.Endpoint(self)
+	if err != nil {
+		sendReport(report{self: self, err: fmt.Errorf("runtime: p%d endpoint: %w", self+1, err)})
+		return
+	}
+	dec := codec.NewDecoder(n)
+	recv := make([]any, n)
+	var sendBuf []byte
+	var frames [][]byte
+	for r := 1; ; r++ {
+		sendBuf, err = codec.Encode(sendBuf[:0], p.Send(r))
+		if err == nil {
+			err = ep.Broadcast(r, sendBuf)
+		}
+		var got [][]byte
+		if err == nil {
+			got, err = ep.Gather(r, frames)
+		}
+		if err != nil {
+			sendReport(report{self: self, round: r, err: abortErr(self, r, err)})
+			return
+		}
+		frames = got
+		for q := 0; q < n; q++ {
+			recv[q] = nil
+			if got[q] == nil {
+				continue
+			}
+			v, derr := dec.Decode(q, got[q])
+			if derr != nil {
+				sendReport(report{self: self, round: r, err: derr})
+				return
+			}
+			recv[q] = v
+		}
+		p.Transition(r, recv)
+		if !sendReport(report{self: self, round: r}) {
+			return
+		}
+		select {
+		case ok := <-cont:
+			if !ok {
+				return
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// abortErr keeps teardown noise out of error reports: a transport closed
+// under a process (because the run is ending) is not that process's
+// failure.
+func abortErr(self, r int, err error) error {
+	if errors.Is(err, transport.ErrClosed) {
+		return err
+	}
+	return fmt.Errorf("runtime: p%d round %d: %w", self+1, r, err)
+}
+
+// RunnerOpts configures NewRunner.
+type RunnerOpts struct {
+	// TCP selects the TCP loopback transport; default is in-process
+	// channels.
+	TCP bool
+	// Codec encodes the algorithm's messages; nil means WireCodec
+	// (Algorithm 1 over internal/wire).
+	Codec Codec
+	// Jitter, when positive, layers deterministic per-link receive
+	// latency in [0, Jitter) on top of the schedule's drops, seeded by
+	// JitterSeed. Decisions are unaffected (Diff proves it); timing
+	// skew is.
+	Jitter     time.Duration
+	JitterSeed int64
+}
+
+// NewRunner adapts the distributed runtime to the executor signature of
+// internal/rounds, for sim.Spec.Runner: the returned function builds a
+// fresh transport whose drop policy replays cfg.Adversary (materialized
+// for concurrent access), runs cfg over it, and tears the transport
+// down. Each call of the returned runner is an independent run.
+func NewRunner(opts RunnerOpts) func(rounds.Config) (*rounds.Result, error) {
+	return func(cfg rounds.Config) (*rounds.Result, error) {
+		if _, err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		adv := adversary.MaterializeRun(cfg.Adversary, cfg.MaxRounds)
+		cfg.Adversary = adv
+		var pol transport.Policy = transport.NewSchedule(adv)
+		if opts.Jitter > 0 {
+			pol = transport.Jitter{Inner: pol, Seed: opts.JitterSeed, Max: opts.Jitter}
+		}
+		var tr transport.Transport
+		if opts.TCP {
+			t, err := transport.NewTCPLoopback(adv.N(), pol)
+			if err != nil {
+				return nil, err
+			}
+			tr = t
+		} else {
+			tr = transport.NewInProc(adv.N(), pol)
+		}
+		return Run(cfg, tr, opts.Codec)
+	}
+}

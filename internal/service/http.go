@@ -1,0 +1,126 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// BatchRequest is the body of POST /v1/sessions.
+type BatchRequest struct {
+	Sessions []SessionSpec `json:"sessions"`
+}
+
+// BatchResponse answers a batch submission positionally.
+type BatchResponse struct {
+	Results []SubmitResult `json:"results"`
+	// Accepted counts entries that were enqueued; Rejected the rest.
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Running       int64   `json:"sessions_running"`
+	QueueDepth    int     `json:"queue_depth"`
+}
+
+// MaxBatch bounds one submission request; bigger batches get a 400
+// (clients should split, the queue bound applies regardless).
+const MaxBatch = 1024
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/sessions          batch submission (BatchRequest -> BatchResponse)
+//	GET  /v1/sessions/{id}     one session snapshot
+//	GET  /v1/sessions?status=  session list (bounded)
+//	GET  /healthz              liveness + queue depth
+//	GET  /metrics              Prometheus text format
+//
+// Status codes: 202 when at least one session was accepted, 429 when
+// the whole batch was turned away by backpressure, 400 for malformed
+// requests, 404 for unknown sessions.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Sessions) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Sessions) > MaxBatch {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds MaxBatch %d", len(req.Sessions), MaxBatch))
+		return
+	}
+	resp := BatchResponse{Results: s.Submit(req.Sessions)}
+	for _, res := range resp.Results {
+		if res.Error == "" {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+		}
+	}
+	code := http.StatusAccepted
+	if resp.Accepted == 0 {
+		// The whole batch bounced — tell the client to back off.
+		code = http.StatusTooManyRequests
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, sess)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions": s.List(r.URL.Query().Get("status"), 100),
+	})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Running:       s.met.running.Load(),
+		QueueDepth:    len(s.queue),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics are the service's atomically-updated counters, rendered in
+// the Prometheus text exposition format by WriteMetrics. Hand-rolled on
+// purpose: the repo carries no external dependencies, and counters +
+// gauges in text format are all a scraper needs.
+type metrics struct {
+	submitted        atomic.Int64
+	rejected         atomic.Int64
+	completed        atomic.Int64
+	failed           atomic.Int64
+	running          atomic.Int64
+	roundsTotal      atomic.Int64
+	decisionsTotal   atomic.Int64
+	kboundViolations atomic.Int64
+}
+
+// WriteMetrics renders the /metrics payload.
+func (s *Service) WriteMetrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("ksetd_sessions_submitted_total", "Sessions submitted through the batch API.", s.met.submitted.Load())
+	counter("ksetd_sessions_rejected_total", "Submissions rejected (validation or backpressure).", s.met.rejected.Load())
+	counter("ksetd_sessions_completed_total", "Sessions finished successfully.", s.met.completed.Load())
+	counter("ksetd_sessions_failed_total", "Sessions that ended in an execution error.", s.met.failed.Load())
+	counter("ksetd_rounds_total", "Algorithm rounds executed across all sessions.", s.met.roundsTotal.Load())
+	counter("ksetd_decisions_total", "Distinct decision values across all sessions.", s.met.decisionsTotal.Load())
+	counter("ksetd_kbound_violations_total", "Sessions whose decisions exceeded the MinK bound (possible only with faithful_guard).", s.met.kboundViolations.Load())
+	gauge("ksetd_sessions_running", "Sessions currently executing.", s.met.running.Load())
+	gauge("ksetd_queue_depth", "Sessions accepted and waiting for a worker.", int64(len(s.queue)))
+	gauge("ksetd_workers", "Size of the session worker pool.", int64(s.cfg.Workers))
+	s.mu.Lock()
+	retained := len(s.sessions)
+	s.mu.Unlock()
+	gauge("ksetd_sessions_retained", "Sessions held in the registry.", int64(retained))
+	gauge("ksetd_uptime_seconds", "Seconds since the service started.", int64(time.Since(s.start).Seconds()))
+}

@@ -1,0 +1,433 @@
+// Package service implements ksetd's core: a long-running agreement
+// service that multiplexes many concurrent k-set-agreement sessions
+// over the distributed runtime (internal/runtime). Each session is one
+// run of Algorithm 1 over a transport; the service adds the
+// production plumbing the ROADMAP's scaling goal needs — a session
+// registry, a bounded worker pool, a batched submission API with
+// backpressure, and Prometheus-style observability (see http.go and
+// metrics.go for the HTTP surface).
+//
+// By default sessions execute with the repaired decision guard
+// (core.Options.ConservativeDecide), so every session's decisions are
+// guaranteed to satisfy the k-bound distinct <= MinK; the paper's
+// published guard is available per session via SessionSpec.FaithfulGuard
+// for experimentation (E10 documents how it can violate the bound).
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"kset/internal/adversary"
+	"kset/internal/core"
+	"kset/internal/rounds"
+	"kset/internal/runtime"
+	"kset/internal/sim"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds the number of sessions executing concurrently;
+	// default 8.
+	Workers int
+	// Queue bounds the number of accepted-but-not-yet-running sessions;
+	// submissions beyond it are rejected (backpressure). Default 256.
+	Queue int
+	// MaxN bounds the per-session process count; default 128.
+	MaxN int
+	// Retain bounds how many finished sessions the registry keeps for
+	// polling before the oldest are evicted; default 4096.
+	Retain int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Queue <= 0 {
+		c.Queue = 256
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 128
+	}
+	if c.Retain <= 0 {
+		c.Retain = 4096
+	}
+	return c
+}
+
+// SessionSpec is one agreement session request, as submitted through
+// the batch API. The adversary family plus seed fully determine the
+// schedule, so a session is replayable from its spec alone.
+type SessionSpec struct {
+	// N is the number of processes (required, 1..Config.MaxN; family
+	// figure1 fixes it to 6).
+	N int `json:"n"`
+	// Family selects the schedule generator: complete, rooted,
+	// single_source, lowerbound, eventual, tinterval, partition_merge,
+	// vertex_stable, figure1.
+	Family string `json:"family"`
+	// Seed makes the schedule deterministic.
+	Seed int64 `json:"seed"`
+	// K is the lower-bound construction's k (family lowerbound only);
+	// default n/2.
+	K int `json:"k,omitempty"`
+	// Roots is the number of root components (family rooted); default 1.
+	Roots int `json:"roots,omitempty"`
+	// Noisy is the length of the additive-noise prefix where the family
+	// supports one.
+	Noisy int `json:"noisy,omitempty"`
+	// Proposals overrides the canonical 1..n proposal vector.
+	Proposals []int64 `json:"proposals,omitempty"`
+	// FaithfulGuard runs the paper's published r >= n decision guard
+	// instead of the repaired conservative one (see E10: the published
+	// guard may exceed the k-bound).
+	FaithfulGuard bool `json:"faithful_guard,omitempty"`
+	// Transport selects the session's wire layer: "inproc" (default) or
+	// "tcp" (loopback sockets; costs n listeners + n² streams).
+	Transport string `json:"transport,omitempty"`
+	// MaxRounds overrides the automatic round bound.
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// SessionResult is the outcome of a finished session.
+type SessionResult struct {
+	// Decisions[i] is process i's decision (meaningful where Decided).
+	Decisions []int64 `json:"decisions"`
+	// Decided[i] reports whether process i decided.
+	Decided []bool `json:"decided"`
+	// Distinct is the sorted set of decided values.
+	Distinct []int64 `json:"distinct"`
+	// MinK is the smallest k with Psrcs(k) in the session's run — the
+	// theorem-given bound on |Distinct|.
+	MinK int `json:"min_k"`
+	// KBound reports |Distinct| <= MinK.
+	KBound bool `json:"k_bound"`
+	// AllDecided reports whether every process terminated.
+	AllDecided bool `json:"all_decided"`
+	// Rounds is the number of rounds executed; RST the observed
+	// skeleton stabilization round.
+	Rounds int `json:"rounds"`
+	RST    int `json:"rst"`
+}
+
+// Session is one registry entry. Status moves queued -> running ->
+// done|failed.
+type Session struct {
+	ID     string         `json:"id"`
+	Status string         `json:"status"`
+	Spec   SessionSpec    `json:"spec"`
+	Result *SessionResult `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// SubmitResult is the per-item answer of a batch submission.
+type SubmitResult struct {
+	ID    string `json:"id,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Service is the multiplexed agreement service. Create with New, stop
+// with Close.
+type Service struct {
+	cfg   Config
+	start time.Time
+	met   metrics
+
+	queue chan *Session
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*Session
+	finished []string // eviction order of done/failed sessions
+	nextID   uint64
+}
+
+// New starts a service with cfg's worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		start:    time.Now(),
+		queue:    make(chan *Session, cfg.Queue),
+		stop:     make(chan struct{}),
+		sessions: make(map[string]*Session),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting submissions, lets running sessions finish, and
+// fails whatever is still queued with "service shutting down".
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	// Workers are gone; drain the queue synchronously.
+	for {
+		select {
+		case sess := <-s.queue:
+			s.finish(sess, nil, fmt.Errorf("service shutting down"))
+		default:
+			return
+		}
+	}
+}
+
+// Submit enqueues a batch of sessions. The answer is positional: each
+// spec yields either an assigned session id or a rejection error
+// (validation failure, or "queue full" backpressure). Accepted sessions
+// execute asynchronously; poll Get.
+func (s *Service) Submit(specs []SessionSpec) []SubmitResult {
+	out := make([]SubmitResult, len(specs))
+	for i, spec := range specs {
+		out[i] = s.submitOne(spec)
+	}
+	return out
+}
+
+func (s *Service) submitOne(spec SessionSpec) SubmitResult {
+	s.met.submitted.Add(1)
+	if err := s.validate(&spec); err != nil {
+		s.met.rejected.Add(1)
+		return SubmitResult{Error: err.Error()}
+	}
+	// The non-blocking enqueue happens under the same lock as the
+	// closed-check: Close sets closed under this lock before draining,
+	// so a session can never slip into the queue after the drain and
+	// sit "queued" forever.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.met.rejected.Add(1)
+		return SubmitResult{Error: "service closed"}
+	}
+	s.nextID++
+	sess := &Session{ID: fmt.Sprintf("s-%06d", s.nextID), Status: "queued", Spec: spec}
+	select {
+	case s.queue <- sess:
+		s.sessions[sess.ID] = sess
+		return SubmitResult{ID: sess.ID}
+	default:
+		// Backpressure: the bounded queue is full. The session was
+		// never registered, so rejected ids are not pollable.
+		s.met.rejected.Add(1)
+		return SubmitResult{Error: "queue full"}
+	}
+}
+
+// Get returns a snapshot of the session with the given id.
+func (s *Service) Get(id string) (Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return Session{}, false
+	}
+	return *sess, true
+}
+
+// List returns snapshots of up to limit sessions with the given status
+// ("" matches all), in unspecified order.
+func (s *Service) List(status string, limit int) []Session {
+	if limit <= 0 {
+		limit = 100
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Session, 0, limit)
+	for _, sess := range s.sessions {
+		if status != "" && sess.Status != status {
+			continue
+		}
+		out = append(out, *sess)
+		if len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+func (s *Service) validate(spec *SessionSpec) error {
+	if spec.Family == "figure1" {
+		if spec.N == 0 {
+			spec.N = 6
+		}
+		if spec.N != 6 {
+			return fmt.Errorf("family figure1 fixes n = 6, got %d", spec.N)
+		}
+	}
+	if spec.N < 1 || spec.N > s.cfg.MaxN {
+		return fmt.Errorf("n = %d out of range [1,%d]", spec.N, s.cfg.MaxN)
+	}
+	if spec.Proposals != nil && len(spec.Proposals) != spec.N {
+		return fmt.Errorf("%d proposals for n = %d", len(spec.Proposals), spec.N)
+	}
+	switch spec.Transport {
+	case "", "inproc", "tcp":
+	default:
+		return fmt.Errorf("unknown transport %q", spec.Transport)
+	}
+	if _, err := buildAdversary(*spec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// buildAdversary maps a session spec onto the adversary catalogue.
+func buildAdversary(spec SessionSpec) (rounds.Adversary, error) {
+	n := spec.N
+	rng := rand.New(rand.NewSource(spec.Seed))
+	roots := spec.Roots
+	if roots <= 0 {
+		roots = 1
+	}
+	if roots > n {
+		return nil, fmt.Errorf("roots = %d > n = %d", roots, n)
+	}
+	switch spec.Family {
+	case "complete":
+		return adversary.Complete(n), nil
+	case "rooted":
+		return adversary.RandomSources(n, roots, spec.Noisy, 0.25, rng), nil
+	case "single_source":
+		return adversary.RandomSingleSource(n, spec.Noisy, 0.2, 0.2, rng), nil
+	case "lowerbound":
+		k := spec.K
+		if k == 0 {
+			k = n / 2
+		}
+		if k < 1 || k > n {
+			return nil, fmt.Errorf("lowerbound k = %d out of range [1,%d]", k, n)
+		}
+		if k == n {
+			return adversary.Isolation(n), nil
+		}
+		if k == 1 {
+			return adversary.Complete(n), nil
+		}
+		return adversary.LowerBound(n, k), nil
+	case "eventual":
+		return adversary.Eventual(adversary.Complete(n), spec.Noisy), nil
+	case "tinterval":
+		return adversary.NewTInterval(n, 4, 4*n, min(3, n), spec.Seed), nil
+	case "partition_merge":
+		return adversary.NewPartitionMerge(n, min(4, n), 2, spec.Seed), nil
+	case "vertex_stable":
+		return adversary.NewVertexStableRoot(n, max(1, n/4), 0.3, spec.Seed), nil
+	case "figure1":
+		return adversary.Figure1(), nil
+	case "":
+		return nil, fmt.Errorf("missing adversary family")
+	default:
+		return nil, fmt.Errorf("unknown adversary family %q", spec.Family)
+	}
+}
+
+// worker executes queued sessions until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case sess := <-s.queue:
+			s.execute(sess)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// execute runs one session over the distributed runtime and records the
+// outcome.
+func (s *Service) execute(sess *Session) {
+	s.setStatus(sess.ID, "running")
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
+
+	out, err := runSession(sess.Spec)
+	if err != nil {
+		s.finish(sess, nil, err)
+		return
+	}
+	res := &SessionResult{
+		Decisions:  out.Decisions,
+		Decided:    out.Decided,
+		Distinct:   out.DistinctDecisions(),
+		MinK:       out.MinK,
+		Rounds:     out.Rounds,
+		RST:        out.RST,
+		AllDecided: out.CheckTermination() == nil,
+	}
+	res.KBound = len(res.Distinct) <= res.MinK
+	if !res.KBound {
+		s.met.kboundViolations.Add(1)
+	}
+	s.met.roundsTotal.Add(int64(out.Rounds))
+	s.met.decisionsTotal.Add(int64(len(res.Distinct)))
+	s.finish(sess, res, nil)
+}
+
+// runSession executes one spec over the runtime (sessions are real
+// distributed executions, not simulator calls — the sim package here
+// only supplies the measurement pipeline around runtime.NewRunner).
+func runSession(spec SessionSpec) (*sim.Outcome, error) {
+	adv, err := buildAdversary(spec)
+	if err != nil {
+		return nil, err
+	}
+	props := spec.Proposals
+	if props == nil {
+		props = sim.SeqProposals(spec.N)
+	}
+	return sim.Execute(sim.Spec{
+		Adversary: adv,
+		Proposals: props,
+		Opts:      core.Options{ConservativeDecide: !spec.FaithfulGuard},
+		MaxRounds: spec.MaxRounds,
+		Runner:    runtime.NewRunner(runtime.RunnerOpts{TCP: spec.Transport == "tcp"}),
+	})
+}
+
+func (s *Service) setStatus(id, status string) {
+	s.mu.Lock()
+	if sess, ok := s.sessions[id]; ok {
+		sess.Status = status
+	}
+	s.mu.Unlock()
+}
+
+// finish records a session's terminal state and applies the retention
+// bound, evicting the oldest finished sessions beyond Config.Retain.
+func (s *Service) finish(sess *Session, res *SessionResult, err error) {
+	s.mu.Lock()
+	if err != nil {
+		sess.Status, sess.Error = "failed", err.Error()
+	} else {
+		sess.Status, sess.Result = "done", res
+	}
+	s.finished = append(s.finished, sess.ID)
+	for len(s.finished) > s.cfg.Retain {
+		victim := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.sessions, victim)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.met.failed.Add(1)
+	} else {
+		s.met.completed.Add(1)
+	}
+}

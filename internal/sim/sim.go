@@ -41,6 +41,14 @@ type Spec struct {
 	RunToCompletion bool
 	// Concurrent selects the goroutine-per-process executor.
 	Concurrent bool
+	// Runner, if non-nil, overrides the executor entirely (taking
+	// precedence over Concurrent). The distributed runtime plugs in here
+	// (runtime.NewRunner), so the whole sim pipeline — skeleton tracker,
+	// wire meter, outcome checks — runs unchanged over a real transport;
+	// the differential harness compares such runs against the lockstep
+	// executor. A Runner is single-use when it owns a transport: build a
+	// fresh Spec per Execute call.
+	Runner func(rounds.Config) (*rounds.Result, error)
 	// MeterMessages measures encoded message sizes (Algorithm 1 only).
 	MeterMessages bool
 	// Observer, if non-nil, is notified after every round (in addition
@@ -146,6 +154,9 @@ func Execute(spec Spec) (*Outcome, error) {
 	runner := rounds.RunSequential
 	if spec.Concurrent {
 		runner = rounds.RunConcurrent
+	}
+	if spec.Runner != nil {
+		runner = spec.Runner
 	}
 	res, err := runner(cfg)
 	if err != nil {

@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// InProc is the in-process transport: every directed link is a buffered
+// Go channel. It is the transport of choice for the agreement service's
+// sessions (no OS resources, nanosecond latency) and the reference
+// implementation of the transport contract.
+type InProc struct {
+	n   int
+	pol Policy
+	// links[from][to] carries from's frames addressed to to.
+	links [][]chan frame
+
+	mu      sync.Mutex
+	claimed []bool
+	done    chan struct{}
+	closed  bool
+}
+
+// NewInProc returns an in-process transport for n processes under the
+// given policy (nil means Perfect).
+func NewInProc(n int, pol Policy) *InProc {
+	if n < 1 {
+		panic(fmt.Sprintf("transport: n = %d, need >= 1", n))
+	}
+	if pol == nil {
+		pol = Perfect{}
+	}
+	links := make([][]chan frame, n)
+	for from := range links {
+		links[from] = make([]chan frame, n)
+		for to := range links[from] {
+			links[from][to] = make(chan frame, linkBuffer)
+		}
+	}
+	return &InProc{
+		n:       n,
+		pol:     pol,
+		links:   links,
+		claimed: make([]bool, n),
+		done:    make(chan struct{}),
+	}
+}
+
+// N implements Transport.
+func (t *InProc) N() int { return t.n }
+
+// Endpoint implements Transport.
+func (t *InProc) Endpoint(self int) (Endpoint, error) {
+	if self < 0 || self >= t.n {
+		return nil, fmt.Errorf("transport: endpoint id %d out of range [0,%d)", self, t.n)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if t.claimed[self] {
+		return nil, fmt.Errorf("transport: endpoint %d already claimed", self)
+	}
+	t.claimed[self] = true
+	ep := &inprocEndpoint{t: t, self: self}
+	for q := 0; q < t.n; q++ {
+		ep.queues = append(ep.queues, t.links[q][self])
+	}
+	return ep, nil
+}
+
+// Close implements Transport.
+func (t *InProc) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.closed {
+		t.closed = true
+		close(t.done)
+	}
+	return nil
+}
+
+// inprocEndpoint is process self's port onto an InProc transport.
+type inprocEndpoint struct {
+	t      *InProc
+	self   int
+	queues []chan frame // queues[q] = link q -> self
+	errc   chan error   // never written for in-proc; keeps gatherFrames shared
+}
+
+// Self implements Endpoint.
+func (ep *inprocEndpoint) Self() int { return ep.self }
+
+// N implements Endpoint.
+func (ep *inprocEndpoint) N() int { return ep.t.n }
+
+// Broadcast implements Endpoint. The payload is copied once and the copy
+// shared (read-only) by all n receivers; dropped links get a tombstone
+// frame so the receivers' rounds still close.
+func (ep *inprocEndpoint) Broadcast(r int, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("transport: payload %d bytes exceeds MaxPayload %d", len(payload), MaxPayload)
+	}
+	shared := append([]byte(nil), payload...)
+	t := ep.t
+	for to := 0; to < t.n; to++ {
+		f := frame{from: ep.self, round: r, payload: shared}
+		if to != ep.self && !t.pol.Deliver(r, ep.self, to) {
+			f = frame{from: ep.self, round: r, dropped: true}
+		}
+		select {
+		case t.links[ep.self][to] <- f:
+		case <-t.done:
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// Gather implements Endpoint.
+func (ep *inprocEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
+	return gatherFrames(ep.self, r, ep.t.n, ep.queues, ep.t.pol, ep.t.done, ep.errc, into)
+}
+
+// Close implements Endpoint. In-process endpoints share the transport's
+// lifetime; closing one tears down the whole transport (there is no
+// meaningful per-endpoint teardown for channel links).
+func (ep *inprocEndpoint) Close() error { return ep.t.Close() }

@@ -1,0 +1,342 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is the socket transport: one ordered TCP stream per directed link,
+// carrying length-prefixed frames whose payloads are the codec's wire
+// encoding (internal/wire for Algorithm 1 messages). NewTCPLoopback
+// binds all n listeners on the loopback interface — the configuration
+// the CI gauntlet and the E18 measurements use; the frame protocol
+// itself is host-agnostic.
+//
+// Per-link frame layout (after a one-time uvarint sender-id handshake on
+// each stream):
+//
+//	uvarint round
+//	byte    flags (bit 0: dropped tombstone)
+//	uvarint payload length (0 for tombstones)
+//	...     payload bytes
+type TCP struct {
+	n     int
+	pol   Policy
+	lns   []net.Listener
+	addrs []string
+
+	mu      sync.Mutex
+	claimed []bool
+	eps     []*tcpEndpoint
+	closed  bool
+	done    chan struct{}
+}
+
+const frameDropped = 1 << 0
+
+// NewTCPLoopback returns a TCP transport whose n listeners are bound to
+// 127.0.0.1 on kernel-assigned ports. All listeners exist before any
+// endpoint dials, so Endpoint may be called concurrently from the n
+// process goroutines without connect races.
+func NewTCPLoopback(n int, pol Policy) (*TCP, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: n = %d, need >= 1", n)
+	}
+	if pol == nil {
+		pol = Perfect{}
+	}
+	t := &TCP{
+		n:       n,
+		pol:     pol,
+		claimed: make([]bool, n),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen endpoint %d: %w", i, err)
+		}
+		t.lns = append(t.lns, ln)
+		t.addrs = append(t.addrs, ln.Addr().String())
+	}
+	return t, nil
+}
+
+// N implements Transport.
+func (t *TCP) N() int { return t.n }
+
+// Addrs returns the listen addresses, indexed by process id.
+func (t *TCP) Addrs() []string { return append([]string(nil), t.addrs...) }
+
+// Endpoint implements Transport: it starts self's accept loop and dials
+// every peer (itself included — self-delivery crosses loopback too, so
+// the wire path is uniform across all n² links).
+func (t *TCP) Endpoint(self int) (Endpoint, error) {
+	if self < 0 || self >= t.n {
+		return nil, fmt.Errorf("transport: endpoint id %d out of range [0,%d)", self, t.n)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if t.claimed[self] {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: endpoint %d already claimed", self)
+	}
+	t.claimed[self] = true
+	ep := &tcpEndpoint{
+		t:      t,
+		self:   self,
+		queues: make([]chan frame, t.n),
+		errc:   make(chan error, 1),
+		seen:   make([]bool, t.n),
+	}
+	for q := range ep.queues {
+		ep.queues[q] = make(chan frame, linkBuffer)
+	}
+	t.eps = append(t.eps, ep)
+	t.mu.Unlock()
+
+	go ep.acceptLoop(t.lns[self])
+	for to := 0; to < t.n; to++ {
+		c, err := net.Dial("tcp", t.addrs[to])
+		if err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("transport: p%d dial p%d: %w", self+1, to+1, err)
+		}
+		ep.track(c)
+		w := bufio.NewWriter(c)
+		var hello [binary.MaxVarintLen64]byte
+		if _, err := w.Write(hello[:binary.PutUvarint(hello[:], uint64(self))]); err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("transport: p%d handshake to p%d: %w", self+1, to+1, err)
+		}
+		ep.conns = append(ep.conns, c)
+		ep.writers = append(ep.writers, w)
+	}
+	return ep, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.done)
+	eps := append([]*tcpEndpoint(nil), t.eps...)
+	t.mu.Unlock()
+	for _, ln := range t.lns {
+		ln.Close()
+	}
+	for _, ep := range eps {
+		ep.closeConns()
+	}
+	return nil
+}
+
+// tcpEndpoint is process self's port onto a TCP transport.
+type tcpEndpoint struct {
+	t       *TCP
+	self    int
+	queues  []chan frame // queues[q] = link q -> self
+	errc    chan error
+	conns   []net.Conn      // dialed, indexed by destination
+	writers []*bufio.Writer // one per dialed conn
+	scratch []byte
+
+	mu      sync.Mutex
+	seen    []bool // sender ids already bound to an accepted stream
+	tracked []net.Conn
+	torn    bool // closeConns ran; late-tracked conns are closed on sight
+}
+
+// Self implements Endpoint.
+func (ep *tcpEndpoint) Self() int { return ep.self }
+
+// N implements Endpoint.
+func (ep *tcpEndpoint) N() int { return ep.t.n }
+
+// Broadcast implements Endpoint. Dropped links get a header-only
+// tombstone frame: the payload genuinely never crosses the wire, but the
+// receiver's round still closes.
+func (ep *tcpEndpoint) Broadcast(r int, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("transport: payload %d bytes exceeds MaxPayload %d", len(payload), MaxPayload)
+	}
+	for to := 0; to < ep.t.n; to++ {
+		dropped := to != ep.self && !ep.t.pol.Deliver(r, ep.self, to)
+		hdr := binary.AppendUvarint(ep.scratch[:0], uint64(r))
+		var flags byte
+		plen := len(payload)
+		if dropped {
+			flags, plen = frameDropped, 0
+		}
+		hdr = append(hdr, flags)
+		hdr = binary.AppendUvarint(hdr, uint64(plen))
+		ep.scratch = hdr
+		w := ep.writers[to]
+		if _, err := w.Write(hdr); err != nil {
+			return ep.sendErr(to, err)
+		}
+		if !dropped {
+			if _, err := w.Write(payload); err != nil {
+				return ep.sendErr(to, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return ep.sendErr(to, err)
+		}
+	}
+	return nil
+}
+
+func (ep *tcpEndpoint) sendErr(to int, err error) error {
+	select {
+	case <-ep.t.done:
+		return ErrClosed
+	default:
+		return fmt.Errorf("transport: p%d send to p%d: %w", ep.self+1, to+1, err)
+	}
+}
+
+// Gather implements Endpoint.
+func (ep *tcpEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
+	return gatherFrames(ep.self, r, ep.t.n, ep.queues, ep.t.pol, ep.t.done, ep.errc, into)
+}
+
+// Close implements Endpoint: it tears down this endpoint's streams. The
+// peers see clean EOFs (normal end of a run); a receiver still waiting
+// on this endpoint's frames unblocks when the transport as a whole is
+// closed.
+func (ep *tcpEndpoint) Close() error {
+	ep.closeConns()
+	return nil
+}
+
+// closeConns tears down every stream this endpoint has tracked —
+// dialed and accepted alike (track registers both). ep.conns/ep.writers
+// are deliberately not touched here: they are owned by the endpoint's
+// process goroutine and may still be mid-append when a concurrent
+// Transport.Close fires; their conns are all in the tracked list.
+func (ep *tcpEndpoint) closeConns() {
+	ep.mu.Lock()
+	tracked := ep.tracked
+	ep.tracked = nil
+	ep.torn = true
+	ep.mu.Unlock()
+	for _, c := range tracked {
+		c.Close()
+	}
+}
+
+// track registers a stream for teardown; a stream arriving after
+// teardown (a dial or accept racing Transport.Close) is closed on the
+// spot.
+func (ep *tcpEndpoint) track(c net.Conn) {
+	ep.mu.Lock()
+	torn := ep.torn
+	if !torn {
+		ep.tracked = append(ep.tracked, c)
+	}
+	ep.mu.Unlock()
+	if torn {
+		c.Close()
+	}
+}
+
+func (ep *tcpEndpoint) acceptLoop(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Transport.Close
+		}
+		ep.track(c)
+		go ep.readConn(c)
+	}
+}
+
+// readConn binds one accepted stream to its sender via the handshake,
+// then routes its frames into the per-sender queue. A clean EOF is the
+// normal end of a peer's run; any other failure before transport close
+// is surfaced to Gather.
+func (ep *tcpEndpoint) readConn(c net.Conn) {
+	br := bufio.NewReader(c)
+	from64, err := binary.ReadUvarint(br)
+	if err != nil {
+		ep.readErr(fmt.Errorf("transport: p%d handshake read: %w", ep.self+1, err))
+		return
+	}
+	from := int(from64)
+	if from64 >= uint64(ep.t.n) {
+		ep.readErr(fmt.Errorf("transport: p%d got handshake from out-of-range sender %d", ep.self+1, from64))
+		return
+	}
+	ep.mu.Lock()
+	dup := ep.seen[from]
+	ep.seen[from] = true
+	ep.mu.Unlock()
+	if dup {
+		ep.readErr(fmt.Errorf("transport: p%d got a second stream claiming sender p%d", ep.self+1, from+1))
+		return
+	}
+	for {
+		round, err := binary.ReadUvarint(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				ep.readErr(fmt.Errorf("transport: p%d read from p%d: %w", ep.self+1, from+1, err))
+			}
+			return
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			ep.readErr(fmt.Errorf("transport: p%d read from p%d: %w", ep.self+1, from+1, err))
+			return
+		}
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			ep.readErr(fmt.Errorf("transport: p%d read from p%d: %w", ep.self+1, from+1, err))
+			return
+		}
+		if plen > MaxPayload {
+			ep.readErr(fmt.Errorf("transport: p%d got %d-byte frame from p%d, exceeds MaxPayload", ep.self+1, plen, from+1))
+			return
+		}
+		f := frame{from: from, round: int(round), dropped: flags&frameDropped != 0}
+		if plen > 0 {
+			f.payload = make([]byte, plen)
+			if _, err := io.ReadFull(br, f.payload); err != nil {
+				ep.readErr(fmt.Errorf("transport: p%d read from p%d: %w", ep.self+1, from+1, err))
+				return
+			}
+		}
+		select {
+		case ep.queues[from] <- f:
+		case <-ep.t.done:
+			return
+		}
+	}
+}
+
+// readErr surfaces a stream failure to the endpoint's Gather, unless the
+// transport is already closing (teardown makes reads fail by design).
+func (ep *tcpEndpoint) readErr(err error) {
+	select {
+	case <-ep.t.done:
+		return
+	default:
+	}
+	select {
+	case ep.errc <- err:
+	default:
+	}
+}

@@ -1,0 +1,154 @@
+// Package transport provides the wire layer of the distributed runtime
+// (internal/runtime): pluggable message transports that carry one
+// broadcast payload per process per round and reassemble, on the receive
+// side, the per-round message vector the round model prescribes.
+//
+// Two production implementations exist:
+//
+//   - InProc — per-link Go channels, zero OS involvement; the transport
+//     used by the agreement service (internal/service) for its sessions.
+//   - TCP — length-prefixed frames over real TCP sockets (loopback or a
+//     LAN), with one ordered stream per directed link, reusing
+//     internal/wire for the payload encoding via runtime's codec.
+//
+// Both are driven by a Policy, the per-link fault injector: drops are
+// applied at the sending endpoint (a dropped payload never crosses the
+// wire; a header-only tombstone frame still closes the round), delays at
+// the receiving endpoint. Because every adversary schedule from
+// internal/adversary is a Policy (see Schedule), any simulated run can be
+// replayed over a real transport — the differential harness in
+// internal/runtime proves the replay is decision-for-decision identical
+// to sim.Execute.
+//
+// # Transport contract
+//
+// Every process calls Broadcast exactly once per round r = 1, 2, ...,
+// then Gather(r) exactly once; rounds are communication-closed. The
+// contract both implementations satisfy:
+//
+//  1. Per-link FIFO: frames from p arrive at q in send order.
+//  2. Round closure: Gather(r) returns only after a round-r frame from
+//     every process (possibly a drop tombstone) has arrived.
+//  3. Bounded lookahead: a sender is never more than a constant number of
+//     rounds ahead of any receiver (the runtime's control barrier bounds
+//     it at one), so per-link buffering is O(1).
+//  4. Self-delivery: a process always receives its own round-r payload
+//     (the model requires all self-loops); Policy is never consulted for
+//     the self link.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrClosed is returned by endpoint operations after the transport (or
+// the endpoint) has been closed.
+var ErrClosed = errors.New("transport: closed")
+
+// MaxPayload bounds a single round payload. Algorithm 1 messages are
+// O(n²) varints (see internal/wire); even n = wire.MaxUniverse stays far
+// below this, so anything larger is a protocol violation, not traffic.
+const MaxPayload = 1 << 24
+
+// Endpoint is one process's port onto the network. An endpoint is owned
+// by a single goroutine: Broadcast and Gather must not be called
+// concurrently (Close may be called from anywhere).
+type Endpoint interface {
+	// Self returns the process id this endpoint belongs to.
+	Self() int
+	// N returns the number of processes on the transport.
+	N() int
+	// Broadcast sends this process's round-r payload to every process,
+	// itself included. The payload is copied (or written to the wire)
+	// before Broadcast returns; the caller may reuse the buffer.
+	// Per-link drops are applied here, by the configured Policy.
+	Broadcast(r int, payload []byte) error
+	// Gather blocks until every process's round-r frame has arrived and
+	// returns the received vector: recv[q] is q's payload, or nil if the
+	// policy dropped the link q -> self in round r. Per-link delays are
+	// applied here. recv aliases into (grown as needed); the payloads
+	// are valid until the next Gather call on this endpoint.
+	Gather(r int, into [][]byte) (recv [][]byte, err error)
+	// Close releases the endpoint; pending and future calls fail with
+	// ErrClosed.
+	Close() error
+}
+
+// Transport hands out the n endpoints of one run. Transports are
+// single-run: after Close (or a completed run) build a fresh one.
+type Transport interface {
+	// N returns the number of processes.
+	N() int
+	// Endpoint returns process self's endpoint. Each id must be claimed
+	// at most once, from any goroutine.
+	Endpoint(self int) (Endpoint, error)
+	// Close tears the transport down and unblocks every endpoint.
+	Close() error
+}
+
+// frame is one per-link round message. A dropped frame is a tombstone:
+// it closes the round at the receiver without delivering a payload —
+// the receive-side image of a lossy link in a communication-closed
+// round model.
+type frame struct {
+	from    int
+	round   int
+	dropped bool
+	payload []byte
+}
+
+// gatherFrames is the shared receive-side collector: it pops exactly one
+// round-r frame per sender from the per-sender FIFO queues, verifies
+// round alignment, applies the policy's receive delays (the round is
+// gated by its slowest delivered link), and assembles the recv vector.
+func gatherFrames(self, r, n int, queues []chan frame, pol Policy, done <-chan struct{}, errc <-chan error, into [][]byte) ([][]byte, error) {
+	if cap(into) < n {
+		into = make([][]byte, n)
+	}
+	into = into[:n]
+	var maxDelay time.Duration
+	for q := 0; q < n; q++ {
+		var f frame
+		select {
+		case f = <-queues[q]:
+		case err := <-errc:
+			return nil, err
+		case <-done:
+			return nil, ErrClosed
+		}
+		if f.round != r {
+			return nil, fmt.Errorf("transport: p%d got round-%d frame from p%d while gathering round %d", self+1, f.round, q+1, r)
+		}
+		if f.dropped {
+			into[q] = nil
+			continue
+		}
+		into[q] = f.payload
+		if q != self {
+			if d := pol.Delay(r, q, self); d > maxDelay {
+				maxDelay = d
+			}
+		}
+	}
+	if maxDelay > 0 {
+		// Receive-side netem: the round completes only after the
+		// slowest delivered link's latency has elapsed. Semantically
+		// inert (rounds are communication-closed); it skews the
+		// processes' real-time phase, which is exactly what the
+		// loss/delay property tests exercise.
+		select {
+		case <-time.After(maxDelay):
+		case <-done:
+			return nil, ErrClosed
+		}
+	}
+	return into, nil
+}
+
+// linkBuffer is the per-link queue capacity. The runtime's per-round
+// control barrier bounds sender lookahead at one round, so two slots
+// suffice; four absorbs transports driven without a barrier (the
+// transport-level property tests) where lookahead can reach two.
+const linkBuffer = 4

@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"kset/internal/adversary"
+)
+
+// payloadFor is the test payload of process p in round r: enough bytes
+// to detect cross-link corruption or round misalignment.
+func payloadFor(p, r int) []byte {
+	return []byte(fmt.Sprintf("p%d/r%d", p, r))
+}
+
+// driveRun runs n goroutines (one per endpoint) for the given number of
+// rounds with no control barrier — the rawest legal use of the transport
+// contract — and returns heard[r-1][q][p] = true iff q received p's
+// round-r payload. Payload integrity is verified inline.
+func driveRun(t *testing.T, tr Transport, rounds int) [][][]bool {
+	t.Helper()
+	n := tr.N()
+	heard := make([][][]bool, rounds)
+	for r := range heard {
+		heard[r] = make([][]bool, n)
+		for q := range heard[r] {
+			heard[r][q] = make([]bool, n)
+		}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(self int) {
+			defer wg.Done()
+			ep, err := tr.Endpoint(self)
+			if err != nil {
+				errs[self] = err
+				return
+			}
+			var buf [][]byte
+			for r := 1; r <= rounds; r++ {
+				if err := ep.Broadcast(r, payloadFor(self, r)); err != nil {
+					errs[self] = fmt.Errorf("round %d broadcast: %w", r, err)
+					return
+				}
+				recv, err := ep.Gather(r, buf)
+				if err != nil {
+					errs[self] = fmt.Errorf("round %d gather: %w", r, err)
+					return
+				}
+				buf = recv
+				for p := 0; p < n; p++ {
+					if recv[p] == nil {
+						continue
+					}
+					heard[r-1][self][p] = true
+					if want := payloadFor(p, r); !bytes.Equal(recv[p], want) {
+						errs[self] = fmt.Errorf("round %d: p%d got %q from p%d, want %q",
+							r, self+1, recv[p], p+1, want)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process p%d: %v", i+1, err)
+		}
+	}
+	return heard
+}
+
+func TestInProcPerfectDeliversEverything(t *testing.T) {
+	n, rounds := 5, 8
+	tr := NewInProc(n, nil)
+	defer tr.Close()
+	heard := driveRun(t, tr, rounds)
+	for r := range heard {
+		for q := 0; q < n; q++ {
+			for p := 0; p < n; p++ {
+				if !heard[r][q][p] {
+					t.Fatalf("round %d: p%d never heard p%d on a perfect transport", r+1, q+1, p+1)
+				}
+			}
+		}
+	}
+}
+
+func TestTCPPerfectDeliversEverything(t *testing.T) {
+	n, rounds := 4, 6
+	tr, err := NewTCPLoopback(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	heard := driveRun(t, tr, rounds)
+	for r := range heard {
+		for q := 0; q < n; q++ {
+			for p := 0; p < n; p++ {
+				if !heard[r][q][p] {
+					t.Fatalf("round %d: p%d never heard p%d on a perfect transport", r+1, q+1, p+1)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleDropsMatchHeardSets is the loss/delay-injection property
+// test: running a transport under a Schedule policy (with jittered
+// receive delays layered on top) must yield, in every round, exactly the
+// heard-sets the adversary's round graphs prescribe — no lost payloads
+// beyond the schedule, no leaks through dropped links, and delays that
+// skew timing but never membership.
+func TestScheduleDropsMatchHeardSets(t *testing.T) {
+	kinds := []struct {
+		name string
+		make func(n int, pol Policy) (Transport, error)
+	}{
+		{"inproc", func(n int, pol Policy) (Transport, error) { return NewInProc(n, pol), nil }},
+		{"tcp", func(n int, pol Policy) (Transport, error) { return NewTCPLoopback(n, pol) }},
+	}
+	for _, kind := range kinds {
+		t.Run(kind.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 2 + rng.Intn(5)
+				run := adversary.RandomRun(n, 3+rng.Intn(4), rng)
+				rounds := run.PrefixLen() + 3
+				pol := Jitter{Inner: NewSchedule(run), Seed: seed, Max: 300 * time.Microsecond}
+				tr, err := kind.make(n, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				heard := driveRun(t, tr, rounds)
+				tr.Close()
+				for r := 1; r <= rounds; r++ {
+					g := run.Graph(r)
+					for q := 0; q < n; q++ {
+						for p := 0; p < n; p++ {
+							want := g.HasEdge(p, q) || p == q
+							if got := heard[r-1][q][p]; got != want {
+								t.Fatalf("seed %d n %d round %d: heard[p%d][p%d] = %v, schedule says %v",
+									seed, n, r, q+1, p+1, got, want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestJitterIsDeterministic(t *testing.T) {
+	j := Jitter{Seed: 42, Max: time.Millisecond}
+	for r := 1; r <= 5; r++ {
+		for from := 0; from < 3; from++ {
+			for to := 0; to < 3; to++ {
+				d1, d2 := j.Delay(r, from, to), j.Delay(r, from, to)
+				if d1 != d2 {
+					t.Fatalf("jitter not deterministic at (%d,%d,%d): %v vs %v", r, from, to, d1, d2)
+				}
+				if d1 < 0 || d1 >= time.Millisecond {
+					t.Fatalf("jitter out of range at (%d,%d,%d): %v", r, from, to, d1)
+				}
+			}
+		}
+	}
+	if (Jitter{Seed: 43, Max: time.Millisecond}).Delay(3, 1, 2) == j.Delay(3, 1, 2) &&
+		(Jitter{Seed: 43, Max: time.Millisecond}).Delay(4, 2, 0) == j.Delay(4, 2, 0) {
+		t.Fatal("different seeds produced identical delay streams")
+	}
+}
+
+func TestEndpointDoubleClaim(t *testing.T) {
+	tr := NewInProc(2, nil)
+	defer tr.Close()
+	if _, err := tr.Endpoint(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Endpoint(0); err == nil {
+		t.Fatal("claiming endpoint 0 twice succeeded")
+	}
+	if _, err := tr.Endpoint(5); err == nil {
+		t.Fatal("claiming out-of-range endpoint succeeded")
+	}
+}
+
+func TestCloseUnblocksGather(t *testing.T) {
+	for _, kind := range []string{"inproc", "tcp"} {
+		t.Run(kind, func(t *testing.T) {
+			var tr Transport
+			var err error
+			if kind == "inproc" {
+				tr = NewInProc(2, nil)
+			} else {
+				tr, err = NewTCPLoopback(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			ep, err := tr.Endpoint(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := ep.Gather(1, nil) // blocks: nobody broadcasts
+				done <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			tr.Close()
+			select {
+			case err := <-done:
+				if !errors.Is(err, ErrClosed) {
+					t.Fatalf("Gather after close returned %v, want ErrClosed", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Gather still blocked after transport close")
+			}
+		})
+	}
+}
+
+func TestBroadcastRejectsOversizedPayload(t *testing.T) {
+	tr := NewInProc(1, nil)
+	defer tr.Close()
+	ep, err := tr.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Broadcast(1, make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized broadcast succeeded")
+	}
+}

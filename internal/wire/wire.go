@@ -77,37 +77,54 @@ func EncodedSize(m core.Message) int {
 // Decode parses a message previously produced by Encode.
 func Decode(buf []byte) (core.Message, error) {
 	var m core.Message
+	err := DecodeInto(buf, &m)
+	return m, err
+}
+
+// DecodeInto parses a message previously produced by Encode, writing it
+// into *m. When m.G is non-nil with a universe matching the encoded one,
+// its storage is reset and reused instead of allocating a fresh graph —
+// the distributed runtime (internal/runtime) decodes n messages per
+// process per round into per-sender scratch, and this keeps that path
+// free of graph allocations in steady state. On error *m — including a
+// reused graph's contents — may be partially overwritten.
+func DecodeInto(buf []byte, m *core.Message) error {
 	if len(buf) < 1 {
-		return m, ErrTruncated
+		return ErrTruncated
 	}
 	kind := core.Kind(buf[0])
 	if kind != core.Prop && kind != core.Decide {
-		return m, fmt.Errorf("%w: %d", ErrBadKind, buf[0])
+		return fmt.Errorf("%w: %d", ErrBadKind, buf[0])
 	}
 	m.Kind = kind
 	buf = buf[1:]
 
 	x, k := binary.Varint(buf)
 	if k <= 0 {
-		return m, ErrTruncated
+		return ErrTruncated
 	}
 	m.X = x
 	buf = buf[k:]
 
 	un, k := binary.Uvarint(buf)
 	if k <= 0 {
-		return m, ErrTruncated
+		return ErrTruncated
 	}
 	buf = buf[k:]
 	n := int(un)
 	if n < 0 || n > MaxUniverse {
-		return m, fmt.Errorf("wire: implausible universe size %d", n)
+		return fmt.Errorf("wire: implausible universe size %d", n)
 	}
 	bmLen := (n + 7) / 8
 	if len(buf) < bmLen {
-		return m, ErrTruncated
+		return ErrTruncated
 	}
-	g := graph.NewLabeled(n)
+	g := m.G
+	if g != nil && g.N() == n {
+		g.Reset()
+	} else {
+		g = graph.NewLabeled(n)
+	}
 	for v := 0; v < n; v++ {
 		if buf[v/8]&(1<<(v%8)) != 0 {
 			g.AddNode(v)
@@ -117,48 +134,48 @@ func Decode(buf []byte) (core.Message, error) {
 
 	edges, k := binary.Uvarint(buf)
 	if k <= 0 {
-		return m, ErrTruncated
+		return ErrTruncated
 	}
 	buf = buf[k:]
 	// Each stored edge is at least three varint bytes; reject lying
 	// headers before looping.
 	if edges > uint64(len(buf))/3 {
-		return m, fmt.Errorf("wire: edge count %d exceeds remaining input %d", edges, len(buf))
+		return fmt.Errorf("wire: edge count %d exceeds remaining input %d", edges, len(buf))
 	}
 	for i := uint64(0); i < edges; i++ {
 		u, k := binary.Uvarint(buf)
 		if k <= 0 {
-			return m, ErrTruncated
+			return ErrTruncated
 		}
 		buf = buf[k:]
 		v, k := binary.Uvarint(buf)
 		if k <= 0 {
-			return m, ErrTruncated
+			return ErrTruncated
 		}
 		buf = buf[k:]
 		label, k := binary.Uvarint(buf)
 		if k <= 0 {
-			return m, ErrTruncated
+			return ErrTruncated
 		}
 		buf = buf[k:]
 		// Compare in uint64 space: a >= 2^63 varint would overflow int to
 		// a negative value and sail past an int comparison (the runfile
 		// decoder had exactly this bug, found by FuzzDecode).
 		if u >= uint64(n) || v >= uint64(n) {
-			return m, fmt.Errorf("wire: edge endpoint out of universe")
+			return fmt.Errorf("wire: edge endpoint out of universe")
 		}
 		if label == 0 || label > math.MaxInt32 {
 			// The upper bound also keeps int(label) positive on 32-bit
 			// platforms, where a larger value would wrap.
-			return m, fmt.Errorf("wire: implausible edge label %d", label)
+			return fmt.Errorf("wire: implausible edge label %d", label)
 		}
 		g.MergeEdge(int(u), int(v), int(label))
 	}
 	if len(buf) != 0 {
-		return m, fmt.Errorf("wire: %d trailing bytes", len(buf))
+		return fmt.Errorf("wire: %d trailing bytes", len(buf))
 	}
 	m.G = g
-	return m, nil
+	return nil
 }
 
 // Meter accumulates wire-size statistics over a run; attach its Observe

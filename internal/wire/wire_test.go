@@ -166,3 +166,49 @@ func TestSizeGrowsWithGraph(t *testing.T) {
 		t.Fatalf("size not monotone in edges: %d vs %d", sSmall, sBig)
 	}
 }
+
+// TestDecodeIntoReusesGraph pins the runtime's scratch-reuse contract:
+// decoding into a message whose graph has the matching universe keeps
+// the same graph storage (no allocation), resets stale content, and
+// produces exactly the Decode result; a universe mismatch reallocates.
+func TestDecodeIntoReusesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch core.Message
+	for trial := 0; trial < 300; trial++ {
+		m := randomMessage(rng)
+		buf := Encode(m)
+		prevG := scratch.G
+		if err := DecodeInto(buf, &scratch); err != nil {
+			t.Fatalf("DecodeInto: %v", err)
+		}
+		if scratch.Kind != m.Kind || scratch.X != m.X || !scratch.G.Equal(m.G) {
+			t.Fatalf("DecodeInto mismatch:\n in  %v x=%d\n out %v x=%d",
+				m.G, m.X, scratch.G, scratch.X)
+		}
+		if prevG != nil && prevG.N() == m.G.N() && scratch.G != prevG {
+			t.Fatalf("trial %d: matching universe %d did not reuse graph storage", trial, m.G.N())
+		}
+		if prevG != nil && prevG.N() != m.G.N() && scratch.G == prevG {
+			t.Fatalf("trial %d: universe change %d -> %d kept old storage", trial, prevG.N(), m.G.N())
+		}
+	}
+}
+
+// TestDecodeIntoSteadyStateAllocs pins that repeated decodes of
+// same-universe messages allocate nothing once the scratch graph exists.
+func TestDecodeIntoSteadyStateAllocs(t *testing.T) {
+	m := randomMessage(rand.New(rand.NewSource(9)))
+	buf := Encode(m)
+	var scratch core.Message
+	if err := DecodeInto(buf, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeInto(buf, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeInto allocates %.1f/op, want 0", allocs)
+	}
+}
