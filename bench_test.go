@@ -11,6 +11,7 @@ package kset_test
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"kset"
@@ -22,6 +23,7 @@ import (
 	"kset/internal/predicate"
 	"kset/internal/sim"
 	"kset/internal/skeleton"
+	"kset/internal/transport"
 	"kset/internal/wire"
 )
 
@@ -454,6 +456,75 @@ func BenchmarkSolveFacade(b *testing.B) {
 		}
 		if out.Rounds != 8 {
 			b.Fatal("unexpected round count")
+		}
+	}
+}
+
+// BenchmarkTransportRound measures one communication-closed round on
+// the real transports — every process broadcasts a payload and gathers
+// the full vector — with no algorithm or codec cost. One op is one
+// round across all n endpoints (goroutines pace each other through
+// round closure, so ns/op is the transport's round latency). The
+// benchdiff gate watches these alongside the BenchmarkHot family.
+func BenchmarkTransportRound(b *testing.B) {
+	kinds := []struct {
+		name string
+		ns   []int
+		make func(n int) (transport.Transport, error)
+	}{
+		{"inproc", []int{8, 32}, func(n int) (transport.Transport, error) { return transport.NewInProc(n, nil), nil }},
+		// The fully distributed mesh runs only at n=8 here: at n=32 its
+		// ~1000 in-flight buffers per round make pool-eviction alloc
+		// counts GC-timing-dependent, which the benchdiff gate cannot
+		// tolerate (E19 covers that shape's throughput instead).
+		{"tcp", []int{8}, func(n int) (transport.Transport, error) { return transport.NewTCPLoopback(n, nil) }},
+		{"tcpnodes2", []int{8, 32}, func(n int) (transport.Transport, error) { return transport.NewTCPMeshLoopback(n, 2, nil) }},
+	}
+	for _, kind := range kinds {
+		for _, n := range kind.ns {
+			b.Run(kind.name+"/"+benchName("n", n), func(b *testing.B) {
+				tr, err := kind.make(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer tr.Close()
+				eps := make([]transport.Endpoint, n)
+				for i := range eps {
+					if eps[i], err = tr.Endpoint(i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				payload := make([]byte, 96)
+				errs := make([]error, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				wg.Add(n)
+				for i := range eps {
+					go func(self int) {
+						defer wg.Done()
+						ep := eps[self]
+						var buf [][]byte
+						for r := 1; r <= b.N; r++ {
+							if err := ep.Broadcast(r, payload); err != nil {
+								errs[self] = err
+								return
+							}
+							if buf, err = ep.Gather(r, buf); err != nil {
+								errs[self] = err
+								return
+							}
+						}
+					}(i)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for i, err := range errs {
+					if err != nil {
+						b.Fatalf("endpoint %d: %v", i, err)
+					}
+				}
+			})
 		}
 	}
 }

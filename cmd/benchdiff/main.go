@@ -2,9 +2,13 @@
 // `go test -bench` output, records a committed baseline, and compares
 // later runs against it with benchstat-style medians.
 //
-// Record the baseline (bench-baseline.json at the repo root):
+// The gated set is the BenchmarkHot family (zero-alloc algorithm hot
+// paths) plus BenchmarkTransportRound (round latency of the wire layer
+// on both transports). Record the baseline (bench-baseline.json at the
+// repo root):
 //
-//	go test -run '^$' -bench BenchmarkHot -count 5 -benchmem . > bench.txt
+//	go test -run '^$' -bench 'BenchmarkHot|BenchmarkTransportRound' \
+//	    -count 5 -benchmem . > bench.txt
 //	go run ./cmd/benchdiff -record -input bench.txt -out bench-baseline.json
 //
 // Gate a run against it (nonzero exit on regression):

@@ -8,6 +8,10 @@
 // Usage:
 //
 //	ksetd [-addr 127.0.0.1:8347] [-workers 8] [-queue 256] [-maxn 128] [-retain 4096]
+//	      [-pprof 127.0.0.1:6060]
+//
+// -pprof serves net/http/pprof on a separate listener (off by default;
+// profiling is never exposed on the API address).
 //
 // The API surface (see DESIGN.md §7 and internal/service):
 //
@@ -31,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +64,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 256, "bounded queue of accepted sessions (backpressure beyond it)")
 	maxn := fs.Int("maxn", 128, "largest per-session process count accepted")
 	retain := fs.Int("retain", 4096, "finished sessions kept for polling before eviction")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +89,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	srv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
+	if *pprofAddr != "" {
+		// The profiling endpoint gets its own listener and servemux —
+		// never the API's — so pprof exposure is an explicit, separately
+		// addressable opt-in. net/http/pprof registers its handlers on
+		// http.DefaultServeMux at import.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(stdout, "ksetd pprof on %s\n", pln.Addr())
+		psrv := &http.Server{Handler: http.DefaultServeMux}
+		defer psrv.Close()
+		go func() {
+			if err := psrv.Serve(pln); err != nil && err != http.ErrServerClosed {
+				errc <- fmt.Errorf("pprof server: %w", err)
+			}
+		}()
+	}
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:

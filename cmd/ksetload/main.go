@@ -17,6 +17,12 @@
 // simulator for reference (EXPERIMENTS.md §E18):
 //
 //	ksetload -mode runtime -transport inproc|tcp|sim -n 16 -rounds 200 -trials 3
+//
+// TCP runs take -nodes to group the n processes onto fewer mesh nodes
+// (coalesced frames; 0 = one node per process). -floor FAILS the run if
+// the measured median falls below the given rounds/sec — the CI
+// throughput smoke uses it as a regression tripwire. -cpuprofile writes
+// a pprof CPU profile covering the measured trials.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"regexp"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -65,6 +72,9 @@ func run(args []string, stdout io.Writer) error {
 	transport := fs.String("transport", "inproc", "runtime mode: inproc, tcp, or sim (lockstep reference)")
 	rounds := fs.Int("rounds", 200, "runtime mode: rounds per trial")
 	trials := fs.Int("trials", 3, "runtime mode: trials (median reported)")
+	nodes := fs.Int("nodes", 0, "runtime mode, tcp: mesh nodes to group processes onto (0 = one per process)")
+	floor := fs.Float64("floor", 0, "runtime mode: fail unless median rounds/sec reaches this floor (0 = no check)")
+	cpuprofile := fs.String("cpuprofile", "", "runtime mode: write a CPU profile of the measured trials to this file")
 	asJSON := fs.Bool("json", false, "emit a JSON summary instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +86,10 @@ func run(args []string, stdout io.Writer) error {
 	case "service":
 		return runService(stdout, *addr, *sessions, *batch, *clients, *n, *seed, *timeout, *wait, *asJSON)
 	case "runtime":
-		return runRuntime(stdout, *transport, *n, *rounds, *trials, *seed, *asJSON)
+		return runRuntime(stdout, runtimeParams{
+			transport: *transport, n: *n, rounds: *rounds, trials: *trials,
+			nodes: *nodes, seed: *seed, floor: *floor, cpuprofile: *cpuprofile, asJSON: *asJSON,
+		})
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -298,34 +311,62 @@ func scrapeMetrics(addr string) (map[string]int, error) {
 type runtimeSummary struct {
 	Transport    string  `json:"transport"`
 	N            int     `json:"n"`
+	Nodes        int     `json:"nodes,omitempty"`
 	Rounds       int     `json:"rounds"`
 	Trials       int     `json:"trials"`
 	Seconds      float64 `json:"seconds_median"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
 }
 
-func runRuntime(stdout io.Writer, transport string, n, roundCount, trials int, seed int64, asJSON bool) error {
-	if n < 1 || roundCount < 1 || trials < 1 {
+// runtimeParams bundles the runtime-mode flags.
+type runtimeParams struct {
+	transport  string
+	n          int
+	rounds     int
+	trials     int
+	nodes      int
+	seed       int64
+	floor      float64
+	cpuprofile string
+	asJSON     bool
+}
+
+func runRuntime(stdout io.Writer, p runtimeParams) error {
+	if p.n < 1 || p.rounds < 1 || p.trials < 1 {
 		return fmt.Errorf("need positive -n, -rounds, -trials")
 	}
+	if p.nodes != 0 && p.transport != "tcp" {
+		return fmt.Errorf("-nodes only applies to -transport tcp")
+	}
+	if p.cpuprofile != "" {
+		f, err := os.Create(p.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	var secs []float64
-	for trial := 0; trial < trials; trial++ {
-		rng := rand.New(rand.NewSource(seed + int64(trial)))
+	for trial := 0; trial < p.trials; trial++ {
+		rng := rand.New(rand.NewSource(p.seed + int64(trial)))
 		spec := sim.Spec{
-			Adversary:       adversary.RandomSingleSource(n, 0, 0.2, 0, rng),
-			Proposals:       sim.SeqProposals(n),
-			MaxRounds:       roundCount,
+			Adversary:       adversary.RandomSingleSource(p.n, 0, 0.2, 0, rng),
+			Proposals:       sim.SeqProposals(p.n),
+			MaxRounds:       p.rounds,
 			RunToCompletion: true,
 		}
-		switch transport {
+		switch p.transport {
 		case "sim":
 			// Lockstep reference: no Runner override.
 		case "inproc":
 			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{})
 		case "tcp":
-			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{TCP: true})
+			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{TCP: true, TCPNodes: p.nodes})
 		default:
-			return fmt.Errorf("unknown transport %q (want inproc, tcp, or sim)", transport)
+			return fmt.Errorf("unknown transport %q (want inproc, tcp, or sim)", p.transport)
 		}
 		start := time.Now()
 		if _, err := sim.Execute(spec); err != nil {
@@ -336,17 +377,28 @@ func runRuntime(stdout io.Writer, transport string, n, roundCount, trials int, s
 	sort.Float64s(secs)
 	med := secs[len(secs)/2]
 	sum := runtimeSummary{
-		Transport:    transport,
-		N:            n,
-		Rounds:       roundCount,
-		Trials:       trials,
+		Transport:    p.transport,
+		N:            p.n,
+		Nodes:        p.nodes,
+		Rounds:       p.rounds,
+		Trials:       p.trials,
 		Seconds:      med,
-		RoundsPerSec: float64(roundCount) / med,
+		RoundsPerSec: float64(p.rounds) / med,
 	}
-	if asJSON {
-		return json.NewEncoder(stdout).Encode(sum)
+	if p.asJSON {
+		if err := json.NewEncoder(stdout).Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		label := sum.Transport
+		if sum.Nodes > 0 {
+			label = fmt.Sprintf("%s/nodes=%d", sum.Transport, sum.Nodes)
+		}
+		fmt.Fprintf(stdout, "runtime %s: n=%d rounds=%d median %.3fs (%.0f rounds/sec)\n",
+			label, sum.N, sum.Rounds, sum.Seconds, sum.RoundsPerSec)
 	}
-	fmt.Fprintf(stdout, "runtime %s: n=%d rounds=%d median %.3fs (%.0f rounds/sec)\n",
-		sum.Transport, sum.N, sum.Rounds, sum.Seconds, sum.RoundsPerSec)
+	if p.floor > 0 && sum.RoundsPerSec < p.floor {
+		return fmt.Errorf("throughput %.0f rounds/sec below floor %.0f", sum.RoundsPerSec, p.floor)
+	}
 	return nil
 }

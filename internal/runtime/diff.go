@@ -13,9 +13,13 @@ import (
 
 // DiffOpts configures one differential replay.
 type DiffOpts struct {
-	// TCP replays over the TCP loopback transport instead of in-process
-	// channels.
+	// TCP replays over the TCP loopback transport instead of the
+	// in-process mailbox transport.
 	TCP bool
+	// TCPNodes groups the processes onto this many TCP mesh nodes
+	// (0 = one per process); see RunnerOpts.TCPNodes. Frame coalescing
+	// across co-located processes must not change a single decision bit.
+	TCPNodes int
 	// Jitter/JitterSeed inject deterministic per-link receive latency,
 	// to prove timing skew cannot leak into decisions.
 	Jitter     time.Duration
@@ -53,7 +57,7 @@ func Diff(spec sim.Spec, opts DiffOpts) error {
 		return fmt.Errorf("runtime: Diff reference execution: %w", err)
 	}
 	rt := spec
-	rt.Runner = NewRunner(RunnerOpts{TCP: opts.TCP, Jitter: opts.Jitter, JitterSeed: opts.JitterSeed})
+	rt.Runner = NewRunner(RunnerOpts{TCP: opts.TCP, TCPNodes: opts.TCPNodes, Jitter: opts.Jitter, JitterSeed: opts.JitterSeed})
 	got, err := sim.Execute(rt)
 	if err != nil {
 		return fmt.Errorf("runtime: Diff runtime execution: %w", err)

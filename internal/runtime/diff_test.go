@@ -36,14 +36,40 @@ func TestDifferentialSuiteInProc(t *testing.T) {
 	}
 }
 
+// TestDifferentialPipelined replays the suite with RunToCompletion set:
+// no StopWhen predicate, so the runtime takes the pipelined send path
+// (round r+1's broadcast precedes the round-r report). Every decision,
+// decision round, and skeleton measurement must still match the
+// lockstep simulator exactly, on both transports and with coalesced
+// multi-process mesh nodes.
+func TestDifferentialPipelined(t *testing.T) {
+	n := 6
+	for _, sched := range ScheduleSuite(n, 77) {
+		sched.Spec.RunToCompletion = true
+		for _, opts := range []DiffOpts{
+			{},
+			{TCP: true},
+			{TCP: true, TCPNodes: 2},
+		} {
+			if err := Diff(sched.Spec, opts); err != nil {
+				t.Errorf("%s (tcp=%v nodes=%d): %v", sched.Name, opts.TCP, opts.TCPNodes, err)
+			}
+		}
+	}
+}
+
 // TestDifferentialSuiteTCP replays the full suite over real TCP
-// loopback sockets with jittered delays.
+// loopback sockets with jittered delays — both fully distributed (one
+// node per process) and grouped onto 3 mesh nodes, where all of a
+// round's messages between two nodes travel as one coalesced frame.
 func TestDifferentialSuiteTCP(t *testing.T) {
 	n := 6
 	for _, sched := range ScheduleSuite(n, 2026) {
-		opts := DiffOpts{TCP: true, Jitter: 200 * time.Microsecond, JitterSeed: 7}
-		if err := Diff(sched.Spec, opts); err != nil {
-			t.Errorf("n=%d %s: %v", n, sched.Name, err)
+		for _, nodes := range []int{0, 3} {
+			opts := DiffOpts{TCP: true, TCPNodes: nodes, Jitter: 200 * time.Microsecond, JitterSeed: 7}
+			if err := Diff(sched.Spec, opts); err != nil {
+				t.Errorf("n=%d nodes=%d %s: %v", n, nodes, sched.Name, err)
+			}
 		}
 	}
 }
@@ -66,7 +92,9 @@ func TestDifferentialNightly(t *testing.T) {
 					{Jitter: 150 * time.Microsecond, JitterSeed: seed},
 				}
 				if n <= 16 {
-					configs = append(configs, DiffOpts{TCP: true, JitterSeed: seed})
+					configs = append(configs,
+						DiffOpts{TCP: true, JitterSeed: seed},
+						DiffOpts{TCP: true, TCPNodes: 4, JitterSeed: seed})
 				}
 				for i, opts := range configs {
 					err := Diff(sched.Spec, opts)

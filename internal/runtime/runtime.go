@@ -20,15 +20,31 @@
 // and compares every per-process decision, decision round, and skeleton
 // measurement against sim.Execute on the same schedule and seed.
 //
-// # Control plane
+// # Control plane and pipelining
 //
 // Data-plane messages (the algorithm's (tag, x, G) broadcasts) travel
 // over the transport. Round pacing is a thin control plane on the
 // runner: after its round-r transition, each process reports to the
 // controller, which runs the observers and the stop predicate against
 // the quiescent round-r state and releases round r+1 — or ends the run.
-// The barrier also bounds transport lookahead at one round, so per-link
-// buffering stays O(1).
+//
+// Fixed-length runs (StopWhen == nil — benchmarks, load generators,
+// service sessions) are pipelined: a process writes its round-r+1
+// broadcast immediately after its round-r transition, BEFORE reporting
+// to the controller, so by the time the barrier releases round r+1
+// every process's message is already deposited (or on the wire) and
+// Gather completes without waiting out a fresh send burst. This is
+// exact, not just safe: with no early-stop predicate, rounds 1..
+// MaxRounds all execute, so the pipelined run performs precisely the
+// Send calls and per-link drops the lockstep simulator does — only
+// earlier in wall-clock — and the transport contract's bounded
+// lookahead (one round past the lowest un-gathered round) licenses the
+// head start. Runs with a StopWhen predicate are not pipelined: the
+// controller's stop decision is not locally predictable, so a
+// speculative round-r+1 broadcast after a stop at round r would call
+// Send (observable to metering wrappers) and consult the drop policy
+// for a round the simulator never executes. The differential harness
+// covers both paths.
 package runtime
 
 import (
@@ -90,11 +106,16 @@ func Run(cfg rounds.Config, tr transport.Transport, codec Codec) (*rounds.Result
 		conts[i] = make(chan bool, 1)
 	}
 
+	// Pipelining is exact only for fixed-length runs; see the package
+	// comment.
+	pipelined := cfg.StopWhen == nil
+	share := newDecodeShare(n)
+
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(self int, p rounds.Algorithm) {
 			defer wg.Done()
-			runProcess(self, n, p, tr, codec, reports, conts[self], stop)
+			runProcess(self, n, cfg.MaxRounds, pipelined, p, tr, codec, share, reports, conts[self], stop)
 		}(i, procs[i])
 	}
 
@@ -146,10 +167,13 @@ loop:
 	return res, nil
 }
 
-// runProcess is one process goroutine: encode-broadcast-gather-decode-
-// transition, then rendezvous with the controller, every round until
-// released or aborted.
-func runProcess(self, n int, p rounds.Algorithm, tr transport.Transport, codec Codec, reports chan<- report, cont <-chan bool, stop <-chan struct{}) {
+// runProcess is one process goroutine: gather-decode-transition, then
+// (when pipelined) the round-r+1 broadcast, then rendezvous with the
+// controller, every round until released or aborted. In pipelined mode
+// the round-1 send primes the pipeline before the loop; otherwise each
+// round's send happens at the top of its own iteration, after the
+// controller's release.
+func runProcess(self, n, maxRounds int, pipelined bool, p rounds.Algorithm, tr transport.Transport, codec Codec, share *decodeShare, reports chan<- report, cont <-chan bool, stop <-chan struct{}) {
 	sendReport := func(rep report) bool {
 		select {
 		case reports <- rep:
@@ -167,15 +191,28 @@ func runProcess(self, n int, p rounds.Algorithm, tr transport.Transport, codec C
 	recv := make([]any, n)
 	var sendBuf []byte
 	var frames [][]byte
+	send := func(r int) error {
+		var serr error
+		sendBuf, serr = codec.Encode(sendBuf[:0], p.Send(r))
+		if serr != nil {
+			return serr
+		}
+		return ep.Broadcast(r, sendBuf)
+	}
+	if pipelined {
+		if err := send(1); err != nil {
+			sendReport(report{self: self, round: 1, err: abortErr(self, 1, err)})
+			return
+		}
+	}
 	for r := 1; ; r++ {
-		sendBuf, err = codec.Encode(sendBuf[:0], p.Send(r))
-		if err == nil {
-			err = ep.Broadcast(r, sendBuf)
+		if !pipelined {
+			if err := send(r); err != nil {
+				sendReport(report{self: self, round: r, err: abortErr(self, r, err)})
+				return
+			}
 		}
-		var got [][]byte
-		if err == nil {
-			got, err = ep.Gather(r, frames)
-		}
+		got, err := ep.Gather(r, frames)
 		if err != nil {
 			sendReport(report{self: self, round: r, err: abortErr(self, r, err)})
 			return
@@ -186,7 +223,7 @@ func runProcess(self, n int, p rounds.Algorithm, tr transport.Transport, codec C
 			if got[q] == nil {
 				continue
 			}
-			v, derr := dec.Decode(q, got[q])
+			v, derr := share.decode(dec, q, r, got[q])
 			if derr != nil {
 				sendReport(report{self: self, round: r, err: derr})
 				return
@@ -194,6 +231,17 @@ func runProcess(self, n int, p rounds.Algorithm, tr transport.Transport, codec C
 			recv[q] = v
 		}
 		p.Transition(r, recv)
+		// Pipelined send: round r+1's broadcast goes out before the
+		// round-r report, so the next round's frames are in flight while
+		// the controller runs observers. Observers run only after every
+		// round-r report, so they never see a difference. The last round
+		// sends nothing — the schedule is defined only up to MaxRounds.
+		if pipelined && r < maxRounds {
+			if err := send(r + 1); err != nil {
+				sendReport(report{self: self, round: r, err: abortErr(self, r+1, err)})
+				return
+			}
+		}
 		if !sendReport(report{self: self, round: r}) {
 			return
 		}
@@ -220,9 +268,14 @@ func abortErr(self, r int, err error) error {
 
 // RunnerOpts configures NewRunner.
 type RunnerOpts struct {
-	// TCP selects the TCP loopback transport; default is in-process
-	// channels.
+	// TCP selects the TCP loopback transport; default is the in-process
+	// mailbox transport.
 	TCP bool
+	// TCPNodes, when TCP is set, groups the n processes onto this many
+	// mesh nodes (co-located processes share sockets and their rounds
+	// coalesce into one frame per node pair). 0 or >= n means one node
+	// per process — the fully distributed shape.
+	TCPNodes int
 	// Codec encodes the algorithm's messages; nil means WireCodec
 	// (Algorithm 1 over internal/wire).
 	Codec Codec
@@ -252,7 +305,11 @@ func NewRunner(opts RunnerOpts) func(rounds.Config) (*rounds.Result, error) {
 		}
 		var tr transport.Transport
 		if opts.TCP {
-			t, err := transport.NewTCPLoopback(adv.N(), pol)
+			nodes := opts.TCPNodes
+			if nodes <= 0 || nodes > adv.N() {
+				nodes = adv.N()
+			}
+			t, err := transport.NewTCPMeshLoopback(adv.N(), nodes, pol)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestInProcSteadyStateAllocs pins the pooled-buffer claim: once the
+// refBuf pool and the mailbox rings are warm, a full round (every
+// process broadcasts, every process gathers) allocates nothing. The
+// in-process transport is fully synchronous, so a single goroutine can
+// drive both endpoints deterministically; GC is disabled for the
+// measurement so pool evictions cannot masquerade as steady-state
+// allocations.
+func TestInProcSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector; alloc counts are not deterministic")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	const n = 2
+	tr := NewInProc(n, nil)
+	defer tr.Close()
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		ep, err := tr.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	payload := []byte("steady-state payload")
+	bufs := make([][][]byte, n)
+	r := 0
+	round := func() {
+		r++
+		for _, ep := range eps {
+			if err := ep.Broadcast(r, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, ep := range eps {
+			recv, err := ep.Gather(r, bufs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs[i] = recv
+		}
+	}
+	// Warm the pool and the gather buffers past the ring window.
+	for i := 0; i < 2*window; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(100, round); avg != 0 {
+		t.Fatalf("steady-state round allocates %.1f times, want 0", avg)
+	}
+}

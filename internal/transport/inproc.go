@@ -5,19 +5,21 @@ import (
 	"sync"
 )
 
-// InProc is the in-process transport: every directed link is a buffered
-// Go channel. It is the transport of choice for the agreement service's
-// sessions (no OS resources, nanosecond latency) and the reference
-// implementation of the transport contract.
+// InProc is the in-process transport: every receiver owns a roundBuffer
+// mailbox and Broadcast deposits straight into all n of them — no
+// goroutines, no channels, no OS involvement. One pooled copy of the
+// payload is shared read-only by every receiver (tracked by a reference
+// count), so the steady-state round is allocation-free. It is the
+// transport of choice for the agreement service's sessions and the
+// reference implementation of the transport contract.
 type InProc struct {
-	n   int
-	pol Policy
-	// links[from][to] carries from's frames addressed to to.
-	links [][]chan frame
+	n     int
+	pol   Policy
+	boxes []*roundBuffer
+	done  chan struct{}
 
 	mu      sync.Mutex
 	claimed []bool
-	done    chan struct{}
 	closed  bool
 }
 
@@ -30,20 +32,17 @@ func NewInProc(n int, pol Policy) *InProc {
 	if pol == nil {
 		pol = Perfect{}
 	}
-	links := make([][]chan frame, n)
-	for from := range links {
-		links[from] = make([]chan frame, n)
-		for to := range links[from] {
-			links[from][to] = make(chan frame, linkBuffer)
-		}
-	}
-	return &InProc{
+	t := &InProc{
 		n:       n,
 		pol:     pol,
-		links:   links,
-		claimed: make([]bool, n),
+		boxes:   make([]*roundBuffer, n),
 		done:    make(chan struct{}),
+		claimed: make([]bool, n),
 	}
+	for i := range t.boxes {
+		t.boxes[i] = newRoundBuffer(n)
+	}
+	return t
 }
 
 // N implements Transport.
@@ -63,30 +62,31 @@ func (t *InProc) Endpoint(self int) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: endpoint %d already claimed", self)
 	}
 	t.claimed[self] = true
-	ep := &inprocEndpoint{t: t, self: self}
-	for q := 0; q < t.n; q++ {
-		ep.queues = append(ep.queues, t.links[q][self])
-	}
-	return ep, nil
+	return &inprocEndpoint{t: t, self: self, drops: make([]bool, t.n)}, nil
 }
 
-// Close implements Transport.
+// Close implements Transport: it wakes every parked Gather with
+// ErrClosed. Idempotent.
 func (t *InProc) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if !t.closed {
-		t.closed = true
-		close(t.done)
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.done)
+	for _, b := range t.boxes {
+		b.close()
 	}
 	return nil
 }
 
 // inprocEndpoint is process self's port onto an InProc transport.
 type inprocEndpoint struct {
-	t      *InProc
-	self   int
-	queues []chan frame // queues[q] = link q -> self
-	errc   chan error   // never written for in-proc; keeps gatherFrames shared
+	t     *InProc
+	self  int
+	drops []bool // per-broadcast drop decisions, reused across rounds
 }
 
 // Self implements Endpoint.
@@ -95,24 +95,33 @@ func (ep *inprocEndpoint) Self() int { return ep.self }
 // N implements Endpoint.
 func (ep *inprocEndpoint) N() int { return ep.t.n }
 
-// Broadcast implements Endpoint. The payload is copied once and the copy
-// shared (read-only) by all n receivers; dropped links get a tombstone
-// frame so the receivers' rounds still close.
+// Broadcast implements Endpoint. The payload is copied once into a
+// pooled buffer shared (read-only) by all delivered receivers; dropped
+// links get a tombstone deposit so the receivers' rounds still close.
 func (ep *inprocEndpoint) Broadcast(r int, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("transport: payload %d bytes exceeds MaxPayload %d", len(payload), MaxPayload)
 	}
-	shared := append([]byte(nil), payload...)
 	t := ep.t
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	delivered := int32(0)
 	for to := 0; to < t.n; to++ {
-		f := frame{from: ep.self, round: r, payload: shared}
-		if to != ep.self && !t.pol.Deliver(r, ep.self, to) {
-			f = frame{from: ep.self, round: r, dropped: true}
+		drop := to != ep.self && !t.pol.Deliver(r, ep.self, to)
+		ep.drops[to] = drop
+		if !drop {
+			delivered++
 		}
-		select {
-		case t.links[ep.self][to] <- f:
-		case <-t.done:
-			return ErrClosed
+	}
+	rb := newRefBuf(payload, delivered) // >= 1: self-delivery is unconditional
+	for to := 0; to < t.n; to++ {
+		if ep.drops[to] {
+			t.boxes[to].deposit(ep.self, r, nil, nil)
+		} else {
+			t.boxes[to].deposit(ep.self, r, rb.b, rb)
 		}
 	}
 	return nil
@@ -120,10 +129,17 @@ func (ep *inprocEndpoint) Broadcast(r int, payload []byte) error {
 
 // Gather implements Endpoint.
 func (ep *inprocEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
-	return gatherFrames(ep.self, r, ep.t.n, ep.queues, ep.t.pol, ep.t.done, ep.errc, into)
+	recv, err := ep.t.boxes[ep.self].await(r, into)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyDelays(ep.t.pol, r, ep.self, recv, ep.t.done); err != nil {
+		return nil, err
+	}
+	return recv, nil
 }
 
 // Close implements Endpoint. In-process endpoints share the transport's
 // lifetime; closing one tears down the whole transport (there is no
-// meaningful per-endpoint teardown for channel links).
+// meaningful per-endpoint teardown for an in-memory mesh).
 func (ep *inprocEndpoint) Close() error { return ep.t.Close() }

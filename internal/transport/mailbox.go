@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// window is the number of rounds a receiver keeps in flight. The round
+// loop needs at most three consecutive rounds live at once — round r-1
+// (gathered, payloads still valid until the next Gather call), round r
+// (filling), and round r+1 (pipelined sends racing ahead of the
+// controller barrier; bounded-lookahead caps senders at one round past
+// the lowest un-gathered round). Four slots leave one round of slack so
+// a violated contract is detected as an error instead of corrupting a
+// live slot.
+const window = 4
+
+// refBuf is a pooled, reference-counted payload buffer. One broadcast
+// payload is copied into a refBuf exactly once and shared read-only by
+// every receiver it is delivered to (plus, on the TCP mesh, the writer
+// loop that serializes it onto the wire); the last release returns it
+// to the pool. Buffers abandoned on teardown paths are deliberately not
+// recycled — the GC reclaims them — so a receiver still reading a
+// payload during Close can never see the buffer reused.
+type refBuf struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+var bufPool = sync.Pool{New: func() any { return new(refBuf) }}
+
+// newRefBuf copies payload into a pooled buffer with the given initial
+// reference count.
+func newRefBuf(payload []byte, refs int32) *refBuf {
+	rb := bufPool.Get().(*refBuf)
+	rb.b = append(rb.b[:0], payload...)
+	rb.refs.Store(refs)
+	return rb
+}
+
+// release drops one reference; the last one returns the buffer to the
+// pool.
+func (rb *refBuf) release() {
+	if rb.refs.Add(-1) == 0 {
+		bufPool.Put(rb)
+	}
+}
+
+// slot is one sender's round-r delivery at one receiver: a payload view
+// (nil for a drop tombstone — the link was cut but the round still
+// closes) plus the backing buffer to release when the round is recycled.
+type slot struct {
+	payload []byte
+	buf     *refBuf
+	present bool
+}
+
+// roundBuffer is a receiver's mailbox: a fixed ring of `window` round
+// slots, each holding one delivery per sender. It replaces the per-link
+// channel pairs of the original transports — senders (or reader loops)
+// deposit without ever blocking, and the receiving process parks on a
+// single condition variable that trips exactly once per round, when the
+// last of the n frames lands. All bounds come from the transport
+// contract: deposits beyond the window or duplicate (sender, round)
+// deliveries are protocol violations and fail the endpoint.
+type roundBuffer struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	n    int
+
+	gathered int // highest round already handed to the process
+	released int // highest round whose buffers were recycled
+	count    [window]int
+	slots    [window][]slot
+
+	err    error
+	closed bool
+}
+
+func newRoundBuffer(n int) *roundBuffer {
+	b := &roundBuffer{n: n}
+	b.cond.L = &b.mu
+	for i := range b.slots {
+		b.slots[i] = make([]slot, n)
+	}
+	return b
+}
+
+// deposit delivers sender from's round-r frame (payload nil = drop
+// tombstone). It never blocks; buf, when non-nil, must already carry
+// this receiver's reference.
+func (b *roundBuffer) deposit(from, r int, payload []byte, buf *refBuf) {
+	b.mu.Lock()
+	if b.closed || b.err != nil {
+		b.mu.Unlock()
+		return
+	}
+	if r <= b.released || r > b.released+window {
+		b.failLocked(fmt.Errorf("transport: round-%d frame from p%d outside the receive window (%d, %d]",
+			r, from+1, b.released, b.released+window))
+		b.mu.Unlock()
+		return
+	}
+	s := &b.slots[r%window][from]
+	if s.present {
+		b.failLocked(fmt.Errorf("transport: duplicate round-%d frame from p%d", r, from+1))
+		b.mu.Unlock()
+		return
+	}
+	s.payload, s.buf, s.present = payload, buf, true
+	b.count[r%window]++
+	if b.count[r%window] == b.n {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// await blocks until every sender's round-r frame has arrived and fills
+// into with the payload views (nil entries for tombstones). Rounds must
+// be awaited in order; round r-1's buffers are recycled on entry (the
+// caller's validity contract: payloads live until the next Gather).
+func (b *roundBuffer) await(r int, into [][]byte) ([][]byte, error) {
+	if cap(into) < b.n {
+		into = make([][]byte, b.n)
+	}
+	into = into[:b.n]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r != b.gathered+1 {
+		err := fmt.Errorf("transport: Gather(%d) after round %d (rounds must be gathered in order)", r, b.gathered)
+		b.failLocked(err)
+		return nil, err
+	}
+	b.releaseUpToLocked(r - 1)
+	for b.count[r%window] < b.n && b.err == nil && !b.closed {
+		b.cond.Wait()
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.gathered = r
+	for q, s := range b.slots[r%window] {
+		into[q] = s.payload
+	}
+	return into, nil
+}
+
+// releaseUpToLocked recycles every round up to and including r.
+func (b *roundBuffer) releaseUpToLocked(r int) {
+	for rr := b.released + 1; rr <= r; rr++ {
+		ss := b.slots[rr%window]
+		for i := range ss {
+			if ss[i].buf != nil {
+				ss[i].buf.release()
+			}
+			ss[i] = slot{}
+		}
+		b.count[rr%window] = 0
+	}
+	if r > b.released {
+		b.released = r
+	}
+}
+
+// fail poisons the mailbox: the pending and all future awaits return
+// err. Used by reader loops to surface stream failures.
+func (b *roundBuffer) fail(err error) {
+	b.mu.Lock()
+	b.failLocked(err)
+	b.mu.Unlock()
+}
+
+func (b *roundBuffer) failLocked(err error) {
+	if b.err == nil && !b.closed {
+		b.err = err
+		b.cond.Broadcast()
+	}
+}
+
+// close wakes any parked await with ErrClosed. In-flight buffers are
+// dropped on the floor for the GC — recycling them here could hand a
+// buffer a receiver is still reading back to a concurrent sender.
+func (b *roundBuffer) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// applyDelays sleeps for the policy's slowest delivered link of round r
+// (receive-side netem, semantically inert) — the same gating the
+// original per-frame gather applied. The Perfect fast path skips the n
+// policy calls per gather.
+func applyDelays(pol Policy, r, self int, recv [][]byte, done <-chan struct{}) error {
+	if _, perfect := pol.(Perfect); perfect {
+		return nil
+	}
+	var maxDelay time.Duration
+	for q, payload := range recv {
+		if q == self || payload == nil {
+			continue
+		}
+		if d := pol.Delay(r, q, self); d > maxDelay {
+			maxDelay = d
+		}
+	}
+	if maxDelay > 0 {
+		select {
+		case <-time.After(maxDelay):
+		case <-done:
+			return ErrClosed
+		}
+	}
+	return nil
+}

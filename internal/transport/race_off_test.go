@@ -1,0 +1,9 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count tests skip under it: sync.Pool intentionally drops
+// puts/gets at random when the race detector is on, so pooled paths
+// show nondeterministic alloc counts that are not regressions.
+const raceEnabled = false

@@ -8,335 +8,594 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
-// TCP is the socket transport: one ordered TCP stream per directed link,
-// carrying length-prefixed frames whose payloads are the codec's wire
-// encoding (internal/wire for Algorithm 1 messages). NewTCPLoopback
-// binds all n listeners on the loopback interface — the configuration
-// the CI gauntlet and the E18 measurements use; the frame protocol
-// itself is host-agnostic.
+// TCPMesh is the socket transport, rebuilt around node-grouped links
+// (wire-format v2). Processes are partitioned across `nodes` mesh nodes;
+// each unordered node pair shares ONE duplex TCP stream, and all of a
+// round's messages from one node to another ship as a single
+// length-prefixed frame: a per-round header, a drop bitmap over the
+// (sender × receiver) link matrix carried by that node link, and each
+// sender's payload exactly once — however many receivers the peer node
+// hosts. Compared with the v1 transport (one stream and one frame per
+// directed process link, n² of each), this cuts connections to
+// O(nodes²), syscalls to O(nodes²) per round, and the bytes crossing
+// the wire by the receiver fan-in factor; co-located delivery never
+// touches a socket at all.
 //
-// Per-link frame layout (after a one-time uvarint sender-id handshake on
-// each stream):
+// Each node runs exactly one writer event loop (it owns every outbound
+// stream half, coalescing all local senders' round-r payloads into one
+// frame per peer) and one reader goroutine per peer stream (each owns
+// its inbound half, depositing straight into the local receivers'
+// mailboxes). Goroutines scale with nodes, not with processes.
 //
+// With nodes == n (NewTCPLoopback) every process is its own node — the
+// fully distributed one-process-per-socket-endpoint shape the E18
+// measurements used; with nodes < n the transport models a cluster
+// whose co-located sessions multiplex one link per peer, the deployment
+// shape the agreement service is growing toward.
+//
+// Per-link frame layout (after a one-time uvarint node-id handshake by
+// the dialing side of each stream):
+//
+//	uvarint frame length (bytes that follow)
 //	uvarint round
-//	byte    flags (bit 0: dropped tombstone)
-//	uvarint payload length (0 for tombstones)
-//	...     payload bytes
-type TCP struct {
-	n     int
+//	bitmap  ceil(S*R/8) bytes; bit si*R+qi (LSB first) = the round-r
+//	        message of the node's si-th process to the peer's qi-th
+//	        process is delivered (0 = drop tombstone)
+//	then, for each sender si with at least one bit set:
+//	        uvarint payload length, payload bytes
+type TCPMesh struct {
+	n, m  int
 	pol   Policy
+	nodes []*meshNode
 	lns   []net.Listener
 	addrs []string
+	done  chan struct{}
 
-	mu      sync.Mutex
-	claimed []bool
-	eps     []*tcpEndpoint
-	closed  bool
-	done    chan struct{}
+	mu       sync.Mutex
+	claimed  []bool
+	closed   bool
+	conns    []net.Conn
+	setupErr error
 }
 
-const frameDropped = 1 << 0
+// nodeLo returns the first process hosted by node i (processes are
+// partitioned contiguously and evenly: node i hosts [nodeLo(i),
+// nodeLo(i+1))).
+func (t *TCPMesh) nodeLo(i int) int { return i * t.n / t.m }
 
-// NewTCPLoopback returns a TCP transport whose n listeners are bound to
-// 127.0.0.1 on kernel-assigned ports. All listeners exist before any
-// endpoint dials, so Endpoint may be called concurrently from the n
-// process goroutines without connect races.
-func NewTCPLoopback(n int, pol Policy) (*TCP, error) {
+// nodeOf returns the node hosting process p.
+func (t *TCPMesh) nodeOf(p int) int {
+	// Inverse of nodeLo's balanced split; the scan is O(m) but only runs
+	// at Endpoint claim time.
+	for i := 0; i < t.m; i++ {
+		if p >= t.nodeLo(i) && p < t.nodeLo(i+1) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewTCPLoopback returns the fully distributed mesh — one node per
+// process, every listener bound to 127.0.0.1 on kernel-assigned ports —
+// the same deployment shape (and constructor) as the v1 transport.
+func NewTCPLoopback(n int, pol Policy) (*TCPMesh, error) {
+	return NewTCPMeshLoopback(n, n, pol)
+}
+
+// NewTCPMeshLoopback returns a TCP mesh transport for n processes
+// grouped onto `nodes` loopback nodes. The full mesh — listeners,
+// streams, handshakes, reader and writer loops — is established before
+// the constructor returns, so Endpoint never dials.
+func NewTCPMeshLoopback(n, nodes int, pol Policy) (*TCPMesh, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: n = %d, need >= 1", n)
+	}
+	if nodes < 1 || nodes > n {
+		return nil, fmt.Errorf("transport: nodes = %d, need 1 <= nodes <= n = %d", nodes, n)
 	}
 	if pol == nil {
 		pol = Perfect{}
 	}
-	t := &TCP{
+	t := &TCPMesh{
 		n:       n,
+		m:       nodes,
 		pol:     pol,
 		claimed: make([]bool, n),
 		done:    make(chan struct{}),
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < t.m; i++ {
+		lo, hi := t.nodeLo(i), t.nodeLo(i+1)
+		nd := &meshNode{t: t, id: i, lo: lo, hi: hi}
+		nd.cond.L = &nd.mu
+		nd.boxes = make([]*roundBuffer, hi-lo)
+		for j := range nd.boxes {
+			nd.boxes[j] = newRoundBuffer(n)
+		}
+		for r := range nd.pending {
+			nd.pending[r] = make([]*refBuf, hi-lo)
+		}
+		nd.conns = make([]net.Conn, t.m)
+		t.nodes = append(t.nodes, nd)
+	}
+	if t.m == 1 {
+		return t, nil // single node: every delivery is in-memory
+	}
+
+	for i := 0; i < t.m; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			t.Close()
-			return nil, fmt.Errorf("transport: listen endpoint %d: %w", i, err)
+			return nil, fmt.Errorf("transport: listen node %d: %w", i, err)
 		}
 		t.lns = append(t.lns, ln)
 		t.addrs = append(t.addrs, ln.Addr().String())
+	}
+	var accepts sync.WaitGroup
+	accepts.Add(t.m * (t.m - 1) / 2)
+	for i := 0; i < t.m; i++ {
+		go t.acceptLoop(t.nodes[i], t.lns[i], &accepts)
+	}
+	// Node i dials every higher-numbered node; the accept side learns
+	// the dialer from the handshake.
+	for i := 0; i < t.m; i++ {
+		for j := i + 1; j < t.m; j++ {
+			c, err := net.Dial("tcp", t.addrs[j])
+			if err != nil {
+				t.Close()
+				return nil, fmt.Errorf("transport: node %d dial node %d: %w", i, j, err)
+			}
+			t.track(c)
+			var hello [binary.MaxVarintLen64]byte
+			if _, err := c.Write(hello[:binary.PutUvarint(hello[:], uint64(i))]); err != nil {
+				t.Close()
+				return nil, fmt.Errorf("transport: node %d handshake to node %d: %w", i, j, err)
+			}
+			t.nodes[i].conns[j] = c
+			go t.readLoop(t.nodes[i], j, c)
+		}
+	}
+	accepts.Wait()
+	t.mu.Lock()
+	err := t.setupErr
+	t.mu.Unlock()
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	for i := 0; i < t.m; i++ {
+		go t.nodes[i].writeLoop()
 	}
 	return t, nil
 }
 
 // N implements Transport.
-func (t *TCP) N() int { return t.n }
+func (t *TCPMesh) N() int { return t.n }
 
-// Addrs returns the listen addresses, indexed by process id.
-func (t *TCP) Addrs() []string { return append([]string(nil), t.addrs...) }
+// Nodes returns the node count of the mesh.
+func (t *TCPMesh) Nodes() int { return t.m }
 
-// Endpoint implements Transport: it starts self's accept loop and dials
-// every peer (itself included — self-delivery crosses loopback too, so
-// the wire path is uniform across all n² links).
-func (t *TCP) Endpoint(self int) (Endpoint, error) {
+// Addrs returns the node listen addresses, indexed by node id (empty
+// for a single-node mesh, which never opens a socket).
+func (t *TCPMesh) Addrs() []string { return append([]string(nil), t.addrs...) }
+
+// Endpoint implements Transport.
+func (t *TCPMesh) Endpoint(self int) (Endpoint, error) {
 	if self < 0 || self >= t.n {
 		return nil, fmt.Errorf("transport: endpoint id %d out of range [0,%d)", self, t.n)
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if t.claimed[self] {
-		t.mu.Unlock()
 		return nil, fmt.Errorf("transport: endpoint %d already claimed", self)
 	}
 	t.claimed[self] = true
-	ep := &tcpEndpoint{
-		t:      t,
-		self:   self,
-		queues: make([]chan frame, t.n),
-		errc:   make(chan error, 1),
-		seen:   make([]bool, t.n),
-	}
-	for q := range ep.queues {
-		ep.queues[q] = make(chan frame, linkBuffer)
-	}
-	t.eps = append(t.eps, ep)
-	t.mu.Unlock()
-
-	go ep.acceptLoop(t.lns[self])
-	for to := 0; to < t.n; to++ {
-		c, err := net.Dial("tcp", t.addrs[to])
-		if err != nil {
-			ep.Close()
-			return nil, fmt.Errorf("transport: p%d dial p%d: %w", self+1, to+1, err)
-		}
-		ep.track(c)
-		w := bufio.NewWriter(c)
-		var hello [binary.MaxVarintLen64]byte
-		if _, err := w.Write(hello[:binary.PutUvarint(hello[:], uint64(self))]); err != nil {
-			ep.Close()
-			return nil, fmt.Errorf("transport: p%d handshake to p%d: %w", self+1, to+1, err)
-		}
-		ep.conns = append(ep.conns, c)
-		ep.writers = append(ep.writers, w)
-	}
-	return ep, nil
+	return &meshEndpoint{nd: t.nodes[t.nodeOf(self)], self: self, drops: make([]bool, t.n)}, nil
 }
 
-// Close implements Transport.
-func (t *TCP) Close() error {
+// Close implements Transport: it tears down listeners, streams and
+// loops, and wakes every parked Gather with ErrClosed. Idempotent and
+// safe from any goroutine.
+func (t *TCPMesh) Close() error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil
 	}
 	t.closed = true
-	close(t.done)
-	eps := append([]*tcpEndpoint(nil), t.eps...)
+	conns := t.conns
+	t.conns = nil
 	t.mu.Unlock()
+	close(t.done)
 	for _, ln := range t.lns {
 		ln.Close()
 	}
-	for _, ep := range eps {
-		ep.closeConns()
-	}
-	return nil
-}
-
-// tcpEndpoint is process self's port onto a TCP transport.
-type tcpEndpoint struct {
-	t       *TCP
-	self    int
-	queues  []chan frame // queues[q] = link q -> self
-	errc    chan error
-	conns   []net.Conn      // dialed, indexed by destination
-	writers []*bufio.Writer // one per dialed conn
-	scratch []byte
-
-	mu      sync.Mutex
-	seen    []bool // sender ids already bound to an accepted stream
-	tracked []net.Conn
-	torn    bool // closeConns ran; late-tracked conns are closed on sight
-}
-
-// Self implements Endpoint.
-func (ep *tcpEndpoint) Self() int { return ep.self }
-
-// N implements Endpoint.
-func (ep *tcpEndpoint) N() int { return ep.t.n }
-
-// Broadcast implements Endpoint. Dropped links get a header-only
-// tombstone frame: the payload genuinely never crosses the wire, but the
-// receiver's round still closes.
-func (ep *tcpEndpoint) Broadcast(r int, payload []byte) error {
-	if len(payload) > MaxPayload {
-		return fmt.Errorf("transport: payload %d bytes exceeds MaxPayload %d", len(payload), MaxPayload)
-	}
-	for to := 0; to < ep.t.n; to++ {
-		dropped := to != ep.self && !ep.t.pol.Deliver(r, ep.self, to)
-		hdr := binary.AppendUvarint(ep.scratch[:0], uint64(r))
-		var flags byte
-		plen := len(payload)
-		if dropped {
-			flags, plen = frameDropped, 0
-		}
-		hdr = append(hdr, flags)
-		hdr = binary.AppendUvarint(hdr, uint64(plen))
-		ep.scratch = hdr
-		w := ep.writers[to]
-		if _, err := w.Write(hdr); err != nil {
-			return ep.sendErr(to, err)
-		}
-		if !dropped {
-			if _, err := w.Write(payload); err != nil {
-				return ep.sendErr(to, err)
-			}
-		}
-		if err := w.Flush(); err != nil {
-			return ep.sendErr(to, err)
-		}
-	}
-	return nil
-}
-
-func (ep *tcpEndpoint) sendErr(to int, err error) error {
-	select {
-	case <-ep.t.done:
-		return ErrClosed
-	default:
-		return fmt.Errorf("transport: p%d send to p%d: %w", ep.self+1, to+1, err)
-	}
-}
-
-// Gather implements Endpoint.
-func (ep *tcpEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
-	return gatherFrames(ep.self, r, ep.t.n, ep.queues, ep.t.pol, ep.t.done, ep.errc, into)
-}
-
-// Close implements Endpoint: it tears down this endpoint's streams. The
-// peers see clean EOFs (normal end of a run); a receiver still waiting
-// on this endpoint's frames unblocks when the transport as a whole is
-// closed.
-func (ep *tcpEndpoint) Close() error {
-	ep.closeConns()
-	return nil
-}
-
-// closeConns tears down every stream this endpoint has tracked —
-// dialed and accepted alike (track registers both). ep.conns/ep.writers
-// are deliberately not touched here: they are owned by the endpoint's
-// process goroutine and may still be mid-append when a concurrent
-// Transport.Close fires; their conns are all in the tracked list.
-func (ep *tcpEndpoint) closeConns() {
-	ep.mu.Lock()
-	tracked := ep.tracked
-	ep.tracked = nil
-	ep.torn = true
-	ep.mu.Unlock()
-	for _, c := range tracked {
+	for _, c := range conns {
 		c.Close()
 	}
+	for _, nd := range t.nodes {
+		nd.mu.Lock()
+		nd.cond.Broadcast() // writer loop re-checks t.done and exits
+		nd.mu.Unlock()
+		for _, b := range nd.boxes {
+			b.close()
+		}
+	}
+	return nil
 }
 
 // track registers a stream for teardown; a stream arriving after
-// teardown (a dial or accept racing Transport.Close) is closed on the
-// spot.
-func (ep *tcpEndpoint) track(c net.Conn) {
-	ep.mu.Lock()
-	torn := ep.torn
-	if !torn {
-		ep.tracked = append(ep.tracked, c)
+// teardown (an accept racing Close) is closed on the spot.
+func (t *TCPMesh) track(c net.Conn) bool {
+	t.mu.Lock()
+	closed := t.closed
+	if !closed {
+		t.conns = append(t.conns, c)
 	}
-	ep.mu.Unlock()
-	if torn {
+	t.mu.Unlock()
+	if closed {
 		c.Close()
 	}
+	return !closed
 }
 
-func (ep *tcpEndpoint) acceptLoop(ln net.Listener) {
+func (t *TCPMesh) failSetup(err error) {
+	t.mu.Lock()
+	if t.setupErr == nil {
+		t.setupErr = err
+	}
+	t.mu.Unlock()
+}
+
+// acceptLoop accepts the streams dialed by lower-numbered nodes and
+// binds each to its peer via the handshake.
+func (t *TCPMesh) acceptLoop(nd *meshNode, ln net.Listener, accepts *sync.WaitGroup) {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
-			return // listener closed by Transport.Close
+			return // listener closed by Close
 		}
-		ep.track(c)
-		go ep.readConn(c)
-	}
-}
-
-// readConn binds one accepted stream to its sender via the handshake,
-// then routes its frames into the per-sender queue. A clean EOF is the
-// normal end of a peer's run; any other failure before transport close
-// is surfaced to Gather.
-func (ep *tcpEndpoint) readConn(c net.Conn) {
-	br := bufio.NewReader(c)
-	from64, err := binary.ReadUvarint(br)
-	if err != nil {
-		ep.readErr(fmt.Errorf("transport: p%d handshake read: %w", ep.self+1, err))
-		return
-	}
-	from := int(from64)
-	if from64 >= uint64(ep.t.n) {
-		ep.readErr(fmt.Errorf("transport: p%d got handshake from out-of-range sender %d", ep.self+1, from64))
-		return
-	}
-	ep.mu.Lock()
-	dup := ep.seen[from]
-	ep.seen[from] = true
-	ep.mu.Unlock()
-	if dup {
-		ep.readErr(fmt.Errorf("transport: p%d got a second stream claiming sender p%d", ep.self+1, from+1))
-		return
-	}
-	for {
-		round, err := binary.ReadUvarint(br)
-		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				ep.readErr(fmt.Errorf("transport: p%d read from p%d: %w", ep.self+1, from+1, err))
-			}
+		if !t.track(c) {
 			return
 		}
-		flags, err := br.ReadByte()
-		if err != nil {
-			ep.readErr(fmt.Errorf("transport: p%d read from p%d: %w", ep.self+1, from+1, err))
-			return
-		}
-		plen, err := binary.ReadUvarint(br)
-		if err != nil {
-			ep.readErr(fmt.Errorf("transport: p%d read from p%d: %w", ep.self+1, from+1, err))
-			return
-		}
-		if plen > MaxPayload {
-			ep.readErr(fmt.Errorf("transport: p%d got %d-byte frame from p%d, exceeds MaxPayload", ep.self+1, plen, from+1))
-			return
-		}
-		f := frame{from: from, round: int(round), dropped: flags&frameDropped != 0}
-		if plen > 0 {
-			f.payload = make([]byte, plen)
-			if _, err := io.ReadFull(br, f.payload); err != nil {
-				ep.readErr(fmt.Errorf("transport: p%d read from p%d: %w", ep.self+1, from+1, err))
+		go func() {
+			defer accepts.Done()
+			c.SetReadDeadline(time.Now().Add(30 * time.Second))
+			from64, err := binary.ReadUvarint(oneByteReader{c})
+			c.SetReadDeadline(time.Time{})
+			if err != nil {
+				t.failSetup(fmt.Errorf("transport: node %d handshake read: %w", nd.id, err))
 				return
 			}
+			from := int(from64)
+			nd.mu.Lock()
+			switch {
+			case from64 >= uint64(nd.id):
+				err = fmt.Errorf("transport: node %d got handshake from unexpected node %d", nd.id, from64)
+			case nd.conns[from] != nil:
+				err = fmt.Errorf("transport: node %d got a second stream claiming node %d", nd.id, from)
+			default:
+				nd.conns[from] = c
+			}
+			nd.mu.Unlock()
+			if err != nil {
+				t.failSetup(err)
+				return
+			}
+			go t.readLoop(nd, from, c)
+		}()
+	}
+}
+
+// oneByteReader adapts a net.Conn for ReadUvarint without buffering —
+// the handshake must not swallow the first frame's bytes.
+type oneByteReader struct{ c net.Conn }
+
+func (r oneByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r.c, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// meshNode is one event-loop domain of the mesh: the processes it
+// hosts, their receive mailboxes, the outbound round-aggregation state
+// its writer loop consumes, and one stream per peer node.
+type meshNode struct {
+	t      *TCPMesh
+	id     int
+	lo, hi int            // hosted processes [lo, hi)
+	boxes  []*roundBuffer // per hosted process
+
+	mu      sync.Mutex
+	cond    sync.Cond
+	pending [window][]*refBuf // [r%window][local sender] round contributions
+	pcount  [window]int
+	conns   []net.Conn // by peer node id; writes owned by the writer loop
+}
+
+func (nd *meshNode) localN() int { return nd.hi - nd.lo }
+
+// contribute hands a local sender's round-r payload to the writer loop.
+func (nd *meshNode) contribute(local, r int, rb *refBuf) error {
+	nd.mu.Lock()
+	if nd.pending[r%window][local] != nil {
+		nd.mu.Unlock()
+		return fmt.Errorf("transport: p%d round %d overran the writer window", nd.lo+local+1, r)
+	}
+	nd.pending[r%window][local] = rb
+	nd.pcount[r%window]++
+	if nd.pcount[r%window] == nd.localN() {
+		nd.cond.Broadcast()
+	}
+	nd.mu.Unlock()
+	return nil
+}
+
+// writeLoop is the node's single outbound event loop: for each round in
+// order, once every hosted process has contributed its payload, it
+// coalesces them into one v2 frame per peer node and writes each with a
+// single writev. Send-side drops (the Policy) are folded into the
+// frame's bitmap here.
+func (nd *meshNode) writeLoop() {
+	t := nd.t
+	_, perfect := t.pol.(Perfect)
+	bufs := make([]*refBuf, nd.localN())
+	var body []byte
+	var hdr [2 * binary.MaxVarintLen64]byte
+	// vecs is re-sliced from a fixed backing array every frame:
+	// net.Buffers.WriteTo consumes the slice from the front, so
+	// appending to vecs[:0] would reallocate per frame.
+	var vecsArr [2][]byte
+	var vecs net.Buffers
+	for r := 1; ; r++ {
+		nd.mu.Lock()
+		for nd.pcount[r%window] < nd.localN() {
+			if closed(t.done) {
+				nd.mu.Unlock()
+				return
+			}
+			nd.cond.Wait()
 		}
-		select {
-		case ep.queues[from] <- f:
-		case <-ep.t.done:
+		copy(bufs, nd.pending[r%window])
+		for i := range nd.pending[r%window] {
+			nd.pending[r%window][i] = nil
+		}
+		nd.pcount[r%window] = 0
+		nd.mu.Unlock()
+
+		failed := false
+		for j := 0; j < t.m && !closed(t.done) && !failed; j++ {
+			if j == nd.id {
+				continue
+			}
+			peerLo, peerHi := t.nodeLo(j), t.nodeLo(j+1)
+			rcv := peerHi - peerLo
+			body = binary.AppendUvarint(body[:0], uint64(r))
+			// Drop bitmap over the S x R link matrix of this node link,
+			// zero-extended byte-wise so the buffer's capacity is reused
+			// across frames instead of allocating a temp per frame.
+			bitOff := len(body)
+			for i := (nd.localN()*rcv + 7) / 8; i > 0; i-- {
+				body = append(body, 0)
+			}
+			bitmap := body[bitOff:]
+			for si := 0; si < nd.localN(); si++ {
+				any := false
+				for qi := 0; qi < rcv; qi++ {
+					if perfect || t.pol.Deliver(r, nd.lo+si, peerLo+qi) {
+						bit := si*rcv + qi
+						bitmap[bit>>3] |= 1 << (bit & 7)
+						any = true
+					}
+				}
+				if any {
+					body = binary.AppendUvarint(body, uint64(len(bufs[si].b)))
+					body = append(body, bufs[si].b...)
+					bitmap = body[bitOff : bitOff+(nd.localN()*rcv+7)/8]
+				}
+			}
+			n := binary.PutUvarint(hdr[:], uint64(len(body)))
+			vecsArr[0], vecsArr[1] = hdr[:n], body
+			vecs = net.Buffers(vecsArr[:])
+			if _, err := vecs.WriteTo(nd.conns[j]); err != nil {
+				nd.failLocal(fmt.Errorf("transport: node %d write to node %d: %w", nd.id, j, err))
+				failed = true
+			}
+		}
+		for _, rb := range bufs {
+			rb.release()
+		}
+		if failed || closed(t.done) {
 			return
 		}
 	}
 }
 
-// readErr surfaces a stream failure to the endpoint's Gather, unless the
-// transport is already closing (teardown makes reads fail by design).
-func (ep *tcpEndpoint) readErr(err error) {
-	select {
-	case <-ep.t.done:
+// failLocal surfaces a wire failure to every process this node hosts,
+// unless the transport is already closing (teardown makes writes and
+// reads fail by design).
+func (nd *meshNode) failLocal(err error) {
+	if closed(nd.t.done) {
 		return
-	default:
 	}
-	select {
-	case ep.errc <- err:
-	default:
+	for _, b := range nd.boxes {
+		b.fail(err)
 	}
 }
+
+// readLoop is the inbound half of one node link: it parses the peer's
+// coalesced round frames and deposits each sender's payload (shared,
+// reference-counted) or drop tombstone straight into the hosted
+// receivers' mailboxes. A clean EOF is the normal end of a peer's run.
+func (t *TCPMesh) readLoop(nd *meshNode, peer int, c net.Conn) {
+	peerLo, peerHi := t.nodeLo(peer), t.nodeLo(peer+1)
+	snd, rcv := peerHi-peerLo, nd.localN()
+	bitmapLen := (snd*rcv + 7) / 8
+	frameLimit := uint64(binary.MaxVarintLen64 + bitmapLen + snd*(binary.MaxVarintLen64+MaxPayload))
+	br := bufio.NewReaderSize(c, 1<<16)
+	var body []byte
+	prevRound := 0
+	fail := func(err error) {
+		nd.failLocal(fmt.Errorf("transport: node %d read from node %d: %w", nd.id, peer, err))
+	}
+	for {
+		flen, err := binary.ReadUvarint(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				fail(err)
+			}
+			return
+		}
+		if flen > frameLimit {
+			fail(fmt.Errorf("%d-byte frame exceeds limit %d", flen, frameLimit))
+			return
+		}
+		if cap(body) < int(flen) {
+			body = make([]byte, flen)
+		}
+		body = body[:flen]
+		if _, err := io.ReadFull(br, body); err != nil {
+			fail(err)
+			return
+		}
+		round64, k := binary.Uvarint(body)
+		if k <= 0 || int(round64) != prevRound+1 {
+			fail(fmt.Errorf("round %d frame after round %d", round64, prevRound))
+			return
+		}
+		prevRound = int(round64)
+		rest := body[k:]
+		if len(rest) < bitmapLen {
+			fail(fmt.Errorf("truncated bitmap"))
+			return
+		}
+		bitmap := rest[:bitmapLen]
+		rest = rest[bitmapLen:]
+		ok := true
+		for si := 0; si < snd && ok; si++ {
+			delivered := 0
+			for qi := 0; qi < rcv; qi++ {
+				bit := si*rcv + qi
+				if bitmap[bit>>3]&(1<<(bit&7)) != 0 {
+					delivered++
+				}
+			}
+			if delivered == 0 {
+				for qi := 0; qi < rcv; qi++ {
+					nd.boxes[qi].deposit(peerLo+si, prevRound, nil, nil)
+				}
+				continue
+			}
+			plen, k := binary.Uvarint(rest)
+			if k <= 0 || plen > MaxPayload || uint64(len(rest)-k) < plen {
+				fail(fmt.Errorf("bad payload length for sender p%d", peerLo+si+1))
+				ok = false
+				break
+			}
+			rb := newRefBuf(rest[k:k+int(plen)], int32(delivered))
+			rest = rest[k+int(plen):]
+			for qi := 0; qi < rcv; qi++ {
+				bit := si*rcv + qi
+				if bitmap[bit>>3]&(1<<(bit&7)) != 0 {
+					nd.boxes[qi].deposit(peerLo+si, prevRound, rb.b, rb)
+				} else {
+					nd.boxes[qi].deposit(peerLo+si, prevRound, nil, nil)
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+		if len(rest) != 0 {
+			fail(fmt.Errorf("%d trailing bytes in round-%d frame", len(rest), prevRound))
+			return
+		}
+	}
+}
+
+// closed reports whether the done channel is closed without blocking.
+func closed(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// meshEndpoint is process self's port onto a TCP mesh.
+type meshEndpoint struct {
+	nd    *meshNode
+	self  int
+	drops []bool
+}
+
+// Self implements Endpoint.
+func (ep *meshEndpoint) Self() int { return ep.self }
+
+// N implements Endpoint.
+func (ep *meshEndpoint) N() int { return ep.nd.t.n }
+
+// Broadcast implements Endpoint. Co-hosted receivers get the pooled
+// payload deposited directly (no socket); one extra reference goes to
+// the node's writer loop, which coalesces all local senders' round-r
+// payloads into one frame per peer node. Remote drop decisions are the
+// writer's (folded into the frame bitmap); local drops are applied
+// here, as tombstone deposits.
+func (ep *meshEndpoint) Broadcast(r int, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("transport: payload %d bytes exceeds MaxPayload %d", len(payload), MaxPayload)
+	}
+	nd := ep.nd
+	t := nd.t
+	if closed(t.done) {
+		return ErrClosed
+	}
+	delivered := int32(0)
+	for to := nd.lo; to < nd.hi; to++ {
+		drop := to != ep.self && !t.pol.Deliver(r, ep.self, to)
+		ep.drops[to] = drop
+		if !drop {
+			delivered++
+		}
+	}
+	if t.m > 1 {
+		delivered++ // the writer loop's reference
+	}
+	rb := newRefBuf(payload, delivered)
+	for to := nd.lo; to < nd.hi; to++ {
+		if ep.drops[to] {
+			nd.boxes[to-nd.lo].deposit(ep.self, r, nil, nil)
+		} else {
+			nd.boxes[to-nd.lo].deposit(ep.self, r, rb.b, rb)
+		}
+	}
+	if t.m > 1 {
+		return nd.contribute(ep.self-nd.lo, r, rb)
+	}
+	return nil
+}
+
+// Gather implements Endpoint.
+func (ep *meshEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
+	recv, err := ep.nd.boxes[ep.self-ep.nd.lo].await(r, into)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyDelays(ep.nd.t.pol, r, ep.self, recv, ep.nd.t.done); err != nil {
+		return nil, err
+	}
+	return recv, nil
+}
+
+// Close implements Endpoint: mesh endpoints share the transport's
+// lifetime (the streams are per node pair, not per process), so closing
+// one tears down the whole mesh. Idempotent.
+func (ep *meshEndpoint) Close() error { return ep.nd.t.Close() }

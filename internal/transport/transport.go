@@ -5,11 +5,19 @@
 //
 // Two production implementations exist:
 //
-//   - InProc — per-link Go channels, zero OS involvement; the transport
+//   - InProc — per-receiver mailboxes (roundBuffer) with direct
+//     deposits, zero goroutines and zero OS involvement; the transport
 //     used by the agreement service (internal/service) for its sessions.
-//   - TCP — length-prefixed frames over real TCP sockets (loopback or a
-//     LAN), with one ordered stream per directed link, reusing
-//     internal/wire for the payload encoding via runtime's codec.
+//   - TCPMesh — node-grouped real TCP sockets (loopback or a LAN): one
+//     duplex stream per node pair carrying all of a round's messages
+//     between the two nodes as a single coalesced v2 frame (per-round
+//     header, drop bitmap, each sender's payload once), with one writer
+//     event loop and one reader goroutine per stream on each node.
+//
+// Both share the mailbox receive path (mailbox.go): senders deposit
+// into per-receiver round slots backed by pooled reference-counted
+// buffers, so the steady-state round allocates nothing and a receiver
+// wakes exactly once per round.
 //
 // Both are driven by a Policy, the per-link fault injector: drops are
 // applied at the sending endpoint (a dropped payload never crosses the
@@ -30,8 +38,9 @@
 //  2. Round closure: Gather(r) returns only after a round-r frame from
 //     every process (possibly a drop tombstone) has arrived.
 //  3. Bounded lookahead: a sender is never more than a constant number of
-//     rounds ahead of any receiver (the runtime's control barrier bounds
-//     it at one), so per-link buffering is O(1).
+//     rounds ahead of any receiver (the runtime's pipelined control
+//     barrier bounds it at one round past the lowest un-gathered round),
+//     so per-receiver buffering is O(1) — a fixed `window`-slot ring.
 //  4. Self-delivery: a process always receives its own round-r payload
 //     (the model requires all self-loops); Policy is never consulted for
 //     the self link.
@@ -39,8 +48,6 @@ package transport
 
 import (
 	"errors"
-	"fmt"
-	"time"
 )
 
 // ErrClosed is returned by endpoint operations after the transport (or
@@ -87,68 +94,3 @@ type Transport interface {
 	// Close tears the transport down and unblocks every endpoint.
 	Close() error
 }
-
-// frame is one per-link round message. A dropped frame is a tombstone:
-// it closes the round at the receiver without delivering a payload —
-// the receive-side image of a lossy link in a communication-closed
-// round model.
-type frame struct {
-	from    int
-	round   int
-	dropped bool
-	payload []byte
-}
-
-// gatherFrames is the shared receive-side collector: it pops exactly one
-// round-r frame per sender from the per-sender FIFO queues, verifies
-// round alignment, applies the policy's receive delays (the round is
-// gated by its slowest delivered link), and assembles the recv vector.
-func gatherFrames(self, r, n int, queues []chan frame, pol Policy, done <-chan struct{}, errc <-chan error, into [][]byte) ([][]byte, error) {
-	if cap(into) < n {
-		into = make([][]byte, n)
-	}
-	into = into[:n]
-	var maxDelay time.Duration
-	for q := 0; q < n; q++ {
-		var f frame
-		select {
-		case f = <-queues[q]:
-		case err := <-errc:
-			return nil, err
-		case <-done:
-			return nil, ErrClosed
-		}
-		if f.round != r {
-			return nil, fmt.Errorf("transport: p%d got round-%d frame from p%d while gathering round %d", self+1, f.round, q+1, r)
-		}
-		if f.dropped {
-			into[q] = nil
-			continue
-		}
-		into[q] = f.payload
-		if q != self {
-			if d := pol.Delay(r, q, self); d > maxDelay {
-				maxDelay = d
-			}
-		}
-	}
-	if maxDelay > 0 {
-		// Receive-side netem: the round completes only after the
-		// slowest delivered link's latency has elapsed. Semantically
-		// inert (rounds are communication-closed); it skews the
-		// processes' real-time phase, which is exactly what the
-		// loss/delay property tests exercise.
-		select {
-		case <-time.After(maxDelay):
-		case <-done:
-			return nil, ErrClosed
-		}
-	}
-	return into, nil
-}
-
-// linkBuffer is the per-link queue capacity. The runtime's per-round
-// control barrier bounds sender lookahead at one round, so two slots
-// suffice; four absorbs transports driven without a barrier (the
-// transport-level property tests) where lookahead can reach two.
-const linkBuffer = 4

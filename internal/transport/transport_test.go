@@ -126,6 +126,11 @@ func TestScheduleDropsMatchHeardSets(t *testing.T) {
 	}{
 		{"inproc", func(n int, pol Policy) (Transport, error) { return NewInProc(n, pol), nil }},
 		{"tcp", func(n int, pol Policy) (Transport, error) { return NewTCPLoopback(n, pol) }},
+		// Grouped meshes exercise the coalesced frame path: multiple
+		// senders per v2 frame, drop bitmaps folding tombstones, local
+		// and remote receivers of the same broadcast.
+		{"tcp-nodes2", func(n int, pol Policy) (Transport, error) { return NewTCPMeshLoopback(n, min(2, n), pol) }},
+		{"tcp-nodes3", func(n int, pol Policy) (Transport, error) { return NewTCPMeshLoopback(n, min(3, n), pol) }},
 	}
 	for _, kind := range kinds {
 		t.Run(kind.name, func(t *testing.T) {
