@@ -334,10 +334,57 @@ func BenchmarkHotTransition(b *testing.B) {
 	}
 }
 
+// BenchmarkHotTransitionRing is the large-n variant of the round engine
+// benchmark: a directed ring with self-loops keeps the per-round message
+// volume linear in n, so the multi-word kernels (merge, purge, prune,
+// connectivity) dominate instead of quadratic message fan-in. One op is
+// one full round across all n processes.
+func BenchmarkHotTransitionRing(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			ring := graph.NewFullDigraph(n)
+			for v := 0; v < n; v++ {
+				ring.AddEdge(v, v)
+				ring.AddEdge(v, (v+1)%n)
+			}
+			procs := make([]*core.Process, n)
+			factory := core.NewFactory(sim.SeqProposals(n), core.Options{})
+			for i := range procs {
+				procs[i] = factory(i).(*core.Process)
+				procs[i].Init(i, n)
+			}
+			msgs := make([]any, n)
+			recv := make([]any, n)
+			r := 0
+			round := func() {
+				r++
+				for j, p := range procs {
+					msgs[j] = p.Send(r)
+				}
+				for q := 0; q < n; q++ {
+					for j := range recv {
+						recv[j] = nil
+					}
+					ring.ForEachIn(q, func(p int) { recv[p] = msgs[p] })
+					procs[q].Transition(r, recv)
+				}
+			}
+			for i := 0; i < 2*n+4; i++ {
+				round() // reach the decided steady state
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+		})
+	}
+}
+
 // BenchmarkHotPruneInPlace measures the matrix-native line-25 prune with
 // a warm scratch.
 func BenchmarkHotPruneInPlace(b *testing.B) {
-	for _, n := range []int{8, 32, 64} {
+	for _, n := range []int{8, 32, 64, 128, 256} {
 		b.Run(benchName("n", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(31))
 			g := graph.NewLabeled(n)
@@ -359,7 +406,7 @@ func BenchmarkHotPruneInPlace(b *testing.B) {
 // BenchmarkHotStronglyConnected measures the matrix-native line-28
 // connectivity test with a warm scratch.
 func BenchmarkHotStronglyConnected(b *testing.B) {
-	for _, n := range []int{8, 32, 64} {
+	for _, n := range []int{8, 32, 64, 128, 256} {
 		b.Run(benchName("n", n), func(b *testing.B) {
 			g := graph.NewLabeled(n)
 			for v := 0; v < n; v++ {
@@ -381,6 +428,21 @@ func BenchmarkHotStronglyConnected(b *testing.B) {
 // intersection in the post-stabilization regime.
 func BenchmarkHotSkeletonObserve(b *testing.B) {
 	n := 64
+	g := kset.CompleteDigraph(n)
+	tr := skeleton.NewTracker(n, false)
+	tr.Observe(1, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(i+2, g)
+	}
+}
+
+// BenchmarkHotSkeletonObserveWide is the multi-word variant of the
+// skeleton tracker benchmark: the stable-intersection word loop over a
+// 256-node complete graph (4 words per row).
+func BenchmarkHotSkeletonObserveWide(b *testing.B) {
+	n := 256
 	g := kset.CompleteDigraph(n)
 	tr := skeleton.NewTracker(n, false)
 	tr.Observe(1, g)

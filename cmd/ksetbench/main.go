@@ -1,5 +1,6 @@
-// Command ksetbench runs the reproduction suite E1-E16 (DESIGN.md §3) and
-// prints the measured tables recorded in EXPERIMENTS.md.
+// Command ksetbench runs the reproduction suite E1-E16 and E20
+// (DESIGN.md §3) and prints the measured tables recorded in
+// EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -112,6 +113,14 @@ func run(args []string, stdout io.Writer) error {
 		{"E14", func() (*experiments.Result, error) { return experiments.E14PartitionMerge(cfg) }},
 		{"E15", func() (*experiments.Result, error) { return experiments.E15VertexStable(cfg) }},
 		{"E16", func() (*experiments.Result, error) { return experiments.E16Scaling(cfg) }},
+		{"E20", func() (*experiments.Result, error) {
+			// Quick mode runs the n = {128, 256} rung; the full
+			// ladder to n = 1024 takes tens of minutes (BENCH_7.json).
+			if *quick {
+				return experiments.E20Suite(cfg)
+			}
+			return experiments.E20LargeN(cfg)
+		}},
 	}
 
 	suite := jsonSuite{
@@ -167,7 +176,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 	if ran == 0 {
-		return fmt.Errorf("-only %s matches no experiment (have E1..E16)", *only)
+		return fmt.Errorf("-only %s matches no experiment (have E1..E16, E20)", *only)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)

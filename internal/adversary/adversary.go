@@ -161,6 +161,49 @@ func RandomSources(n, roots, noisy int, p float64, rng *rand.Rand) *Run {
 	return WithNoise(Static(skel), noisy, p, rng)
 }
 
+// HubClusters returns a run whose stable skeleton is a hub-cluster
+// graph: processes 0..hubs-1 are hubs forming a clique (every hub hears
+// every hub), and the remaining n-hubs members are dealt round-robin
+// into one group per hub; each member hears itself, its hub, and its
+// ring-predecessor within the group. A noisy prefix (as in WithNoise)
+// is layered on top.
+//
+// The shape is built for large-n scaling sweeps (experiment E20): the
+// skeleton has ~3n edges, exactly one root component (the hub clique),
+// and MinK = hubs exactly — the in-neighborhoods {self, hub, pred} of
+// members in different groups are disjoint, while any two processes of
+// the same group share their hub and any hub shares a hub with
+// everyone — so the per-trial MinK computation stays tractable and its
+// expected value is known analytically. Hubs decide by connectivity
+// (their pruned approximation is the hub clique); members adopt their
+// hub's decision broadcast one round later.
+func HubClusters(n, hubs, noisy int, p float64, rng *rand.Rand) *Run {
+	if hubs < 1 || n < 2*hubs {
+		panic(fmt.Sprintf("adversary: HubClusters needs 1 <= hubs <= n/2, got n=%d hubs=%d", n, hubs))
+	}
+	skel := graph.NewFullDigraph(n)
+	skel.AddSelfLoops()
+	for u := 0; u < hubs; u++ {
+		for v := 0; v < hubs; v++ {
+			skel.AddEdge(u, v)
+		}
+	}
+	for m := hubs; m < n; m++ {
+		h := (m - hubs) % hubs
+		skel.AddEdge(h, m)
+		pred := m - hubs // previous member of the same group, wrapping
+		if pred < hubs {
+			last := m
+			for last+hubs < n {
+				last += hubs
+			}
+			pred = last
+		}
+		skel.AddEdge(pred, m)
+	}
+	return WithNoise(Static(skel), noisy, p, rng)
+}
+
 // RandomSingleSource returns a run whose stable skeleton contains a
 // universal 2-source: one process s with a perpetual edge to every
 // process. Then s ∈ PT(q) ∩ PT(q') for every pair, so Psrcs(1) holds

@@ -355,3 +355,58 @@ func TestChurnCoreValidation(t *testing.T) {
 	}()
 	NewChurn(graph.NewFullDigraph(3), 0.1, 0)
 }
+
+// TestHubClustersProperties pins the analytic claims HubClusters is
+// built on: exactly one root component (the hub clique), MinK equal to
+// the hub count, and the ~3n edge budget that keeps the per-trial MinK
+// computation tractable at large n. Widths on both sides of the one-word
+// boundary are covered.
+func TestHubClustersProperties(t *testing.T) {
+	cases := []struct{ n, hubs int }{
+		{8, 1}, {12, 3}, {63, 4}, {64, 2}, {65, 2}, {130, 4},
+	}
+	for _, c := range cases {
+		run := HubClusters(c.n, c.hubs, 0, 0, nil)
+		skel := run.StableSkeleton()
+		if roots := graph.RootComponents(skel); len(roots) != 1 {
+			t.Errorf("n=%d hubs=%d: %d root components, want 1", c.n, c.hubs, len(roots))
+		}
+		if got := predicate.MinK(skel); got != c.hubs {
+			t.Errorf("n=%d hubs=%d: MinK = %d, want %d", c.n, c.hubs, got, c.hubs)
+		}
+		// Self-loops n, hub clique hubs², hub→member + pred→member 2(n-hubs);
+		// minus the overlaps already counted as self-loops is an upper bound.
+		if max := c.n + c.hubs*c.hubs + 2*(c.n-c.hubs); skel.NumEdges() > max {
+			t.Errorf("n=%d hubs=%d: %d skeleton edges, want <= %d", c.n, c.hubs, skel.NumEdges(), max)
+		}
+	}
+}
+
+// TestHubClustersNoise checks that a noisy prefix leaves the stable
+// skeleton untouched (noise only ever adds edges, only before
+// stabilization).
+func TestHubClustersNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quiet := HubClusters(20, 2, 0, 0, nil)
+	noisy := HubClusters(20, 2, 8, 0.1, rng)
+	if !noisy.StableSkeleton().Equal(quiet.StableSkeleton()) {
+		t.Fatal("noise changed the stable skeleton")
+	}
+	if noisy.StabilizationRound() != 9 {
+		t.Fatalf("stabilization round = %d, want 9", noisy.StabilizationRound())
+	}
+}
+
+// TestHubClustersValidation pins the constructor's bounds.
+func TestHubClustersValidation(t *testing.T) {
+	for _, c := range []struct{ n, hubs int }{{8, 0}, {8, 5}, {4, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HubClusters(%d, %d) did not panic", c.n, c.hubs)
+				}
+			}()
+			HubClusters(c.n, c.hubs, 0, 0, nil)
+		}()
+	}
+}

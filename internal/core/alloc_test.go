@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"kset/internal/adversary"
+	"kset/internal/graph"
 )
 
 // Allocation-regression tests: the per-round hot path (Send + Transition)
@@ -57,6 +58,57 @@ func TestTransitionAllocsPerRun(t *testing.T) {
 		if avg != 0 {
 			t.Errorf("n=%d: %v allocs per steady-state round (all %d Sends + Transitions), want 0", n, avg, n)
 		}
+	}
+}
+
+// TestTransitionAllocsLargeN pins the multi-word steady state: at n=128
+// every bitset kernel in the round path runs its multi-word code, and it
+// must be exactly as allocation-free as the single-word fast path. A
+// complete graph would make the warmup quadratic in messages, so the
+// topology is a directed ring with self-loops — strongly connected from
+// round one, ~2 in-edges per process.
+func TestTransitionAllocsLargeN(t *testing.T) {
+	n := 128
+	ring := graph.NewFullDigraph(n)
+	for v := 0; v < n; v++ {
+		ring.AddEdge(v, v)
+		ring.AddEdge(v, (v+1)%n)
+	}
+	procs := make([]*Process, n)
+	for i := range procs {
+		procs[i] = NewWithOptions(int64(i+1), Options{})
+		procs[i].Init(i, n)
+	}
+	msgs := make([]any, n)
+	recv := make([]any, n)
+	r := 0
+	round := func() {
+		r++
+		for i, p := range procs {
+			msgs[i] = p.Send(r)
+		}
+		for q := 0; q < n; q++ {
+			for j := range recv {
+				recv[j] = nil
+			}
+			ring.ForEachIn(q, func(p int) { recv[p] = msgs[p] })
+			procs[q].Transition(r, recv)
+		}
+	}
+	// Warm past the decision round (r >= n once the approximation is
+	// strongly connected) so the measured rounds run the decided steady
+	// state with all scratch at final size.
+	for i := 0; i < 2*n+4; i++ {
+		round()
+	}
+	for _, p := range procs {
+		if !p.Decided() {
+			t.Fatalf("process %d undecided after warmup", p.Self())
+		}
+	}
+	avg := testing.AllocsPerRun(10, round)
+	if avg != 0 {
+		t.Errorf("%v allocs per steady-state round at n=%d, want 0", avg, n)
 	}
 }
 

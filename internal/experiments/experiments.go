@@ -1,9 +1,9 @@
-// Package experiments implements the reproduction suite E1-E16 defined
-// in DESIGN.md §3: every figure of the paper, every quantitative claim of
-// its theorems, the soundness audit of its main proof, the classical
-// regimes it cites, and the dynamic-network adversary suite E13-E16 that
-// probes just outside the paper's eventually-stable model, rendered as
-// measured tables. cmd/ksetbench prints these tables (EXPERIMENTS.md
+// Package experiments implements the reproduction suite E1-E16 and E20
+// defined in DESIGN.md §3: every figure of the paper, every quantitative
+// claim of its theorems, the soundness audit of its main proof, the
+// classical regimes it cites, the dynamic-network adversary suite
+// E13-E16 that probes just outside the paper's eventually-stable model,
+// and the E20 multi-word scaling sweep, rendered as measured tables. cmd/ksetbench prints these tables (EXPERIMENTS.md
 // records them) and bench_test.go wraps them as Go benchmarks.
 package experiments
 
@@ -691,6 +691,9 @@ func All(cfg Config) ([]*Result, error) {
 		func() (*Result, error) { return E14PartitionMerge(cfg) },
 		func() (*Result, error) { return E15VertexStable(cfg) },
 		func() (*Result, error) { return E16Scaling(cfg) },
+		// The suite runs E20's CI rung; the full n = 1024 ladder is
+		// `ksetbench -only E20` (see e20SuiteSizes).
+		func() (*Result, error) { return E20Suite(cfg) },
 	}
 	for _, step := range steps {
 		r, err := step()

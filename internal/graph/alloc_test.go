@@ -10,7 +10,9 @@ import (
 // DESIGN.md §4.
 
 func TestPruneUnreachableToInPlaceAllocs(t *testing.T) {
-	for _, n := range []int{8, 32} {
+	// 128 exercises the multi-word path: steady state must stay 0-alloc
+	// on both sides of the one-word boundary.
+	for _, n := range []int{8, 32, 128} {
 		rng := rand.New(rand.NewSource(21))
 		g := NewLabeled(n)
 		work := NewLabeled(n)
@@ -31,7 +33,7 @@ func TestPruneUnreachableToInPlaceAllocs(t *testing.T) {
 }
 
 func TestStronglyConnectedIntoAllocs(t *testing.T) {
-	for _, n := range []int{8, 32} {
+	for _, n := range []int{8, 32, 128} {
 		g := NewLabeled(n)
 		for v := 0; v < n; v++ {
 			g.MergeEdge(v, (v+1)%n, 1) // a directed cycle: strongly connected
@@ -52,22 +54,23 @@ func TestStronglyConnectedIntoAllocs(t *testing.T) {
 }
 
 func TestDigraphIntersectWithAllocs(t *testing.T) {
-	n := 32
-	rng := rand.New(rand.NewSource(22))
-	g := RandomDigraph(n, 0.3, rng)
-	h := RandomDigraph(n, 0.3, rng)
-	work := g.Clone()
-	work.IntersectWith(h)
-	avg := testing.AllocsPerRun(50, func() {
-		// Steady state: work already is g ∩ h, so re-intersecting with h
-		// removes nothing; this is exactly the skeleton tracker's
-		// post-stabilization regime.
-		if work.IntersectWith(h) {
-			t.Fatal("stable intersection changed")
+	for _, n := range []int{32, 128} {
+		rng := rand.New(rand.NewSource(22))
+		g := RandomDigraph(n, 0.3, rng)
+		h := RandomDigraph(n, 0.3, rng)
+		work := g.Clone()
+		work.IntersectWith(h)
+		avg := testing.AllocsPerRun(50, func() {
+			// Steady state: work already is g ∩ h, so re-intersecting with h
+			// removes nothing; this is exactly the skeleton tracker's
+			// post-stabilization regime.
+			if work.IntersectWith(h) {
+				t.Fatal("stable intersection changed")
+			}
+		})
+		if avg != 0 {
+			t.Errorf("n=%d: %v allocs per stable IntersectWith, want 0", n, avg)
 		}
-	})
-	if avg != 0 {
-		t.Errorf("%v allocs per stable IntersectWith, want 0", avg)
 	}
 }
 
@@ -102,12 +105,52 @@ func TestSCCScratchReuseAllocs(t *testing.T) {
 
 func TestNewDigraphAllocs(t *testing.T) {
 	// Arena construction: struct + NodeSet backing + one flat word arena.
-	avg := testing.AllocsPerRun(50, func() {
-		if NewDigraph(64).N() != 64 {
-			t.Fatal("bad universe")
+	// The bound is width-independent — multi-word universes cost the same
+	// three allocations, just with longer slices.
+	for _, n := range []int{64, 128, 192} {
+		avg := testing.AllocsPerRun(50, func() {
+			if NewDigraph(n).N() != n {
+				t.Fatal("bad universe")
+			}
+		})
+		if avg > 3 {
+			t.Errorf("NewDigraph(%d) costs %v allocs, want <= 3", n, avg)
 		}
-	})
-	if avg > 3 {
-		t.Errorf("NewDigraph(64) costs %v allocs, want <= 3", avg)
+	}
+}
+
+func TestNewLabeledAllocs(t *testing.T) {
+	// Labeled construction: struct + set headers + word arena + label
+	// matrix, at any width.
+	for _, n := range []int{64, 128, 192} {
+		avg := testing.AllocsPerRun(50, func() {
+			if NewLabeled(n).N() != n {
+				t.Fatal("bad universe")
+			}
+		})
+		if avg > 4 {
+			t.Errorf("NewLabeled(%d) costs %v allocs, want <= 4", n, avg)
+		}
+	}
+}
+
+func TestLabeledMergePurgeAllocs(t *testing.T) {
+	// The per-round rebuild kernels (MergeFrom, PurgeOlderThan, Reset)
+	// must allocate nothing at any width once the graphs exist.
+	for _, n := range []int{32, 128} {
+		rng := rand.New(rand.NewSource(23))
+		src := NewLabeled(n)
+		for i := 0; i < 4*n; i++ {
+			src.MergeEdge(rng.Intn(n), rng.Intn(n), 1+rng.Intn(9))
+		}
+		dst := NewLabeled(n)
+		avg := testing.AllocsPerRun(50, func() {
+			dst.Reset()
+			dst.MergeFrom(src)
+			dst.PurgeOlderThan(5)
+		})
+		if avg != 0 {
+			t.Errorf("n=%d: %v allocs per merge/purge/reset cycle, want 0", n, avg)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -18,40 +19,118 @@ func (e LabeledEdge) String() string {
 	return fmt.Sprintf("p%d-%d->p%d", e.From+1, e.Label, e.To+1)
 }
 
+// MaxLabel is the largest edge label Labeled stores. Labels are round
+// numbers; a label beyond 2^31-1 would mean a run of two billion rounds
+// and almost certainly indicates a caller bug, so MergeEdge rejects it
+// loudly instead of truncating (labels are stored as int32 to halve the
+// matrix footprint at large n).
+const MaxLabel = math.MaxInt32
+
 // Labeled is a round-labeled digraph over the universe 0..n-1: the
 // weighted approximation graph G_p of Algorithm 1. Invariant (paper
 // Lemma 3(c) / Lemma 4(b)): at most one label per ordered node pair, and
 // merging keeps the maximum label ever seen. Labels are >= 1; 0 means "no
-// edge". The representation is a dense matrix because graphs are rebuilt
-// for every process in every round and n is small.
+// edge".
+//
+// The representation is a dense label matrix plus a pair of bit-matrix
+// shadows: out[u] holds bit v and in[v] holds bit u exactly when
+// labels[u*n+v] != 0. The shadows make every structural kernel
+// word-parallel and edge-proportional — merge, purge, reachability, and
+// prune walk 64 node pairs per machine word instead of one matrix cell at
+// a time — which is what lets the per-round rebuild scale past n = 64
+// (DESIGN.md §8). Edges exist only between present nodes: MergeEdge adds
+// both endpoints, RemoveNode clears its row and column.
 type Labeled struct {
 	n       int
+	m       int // edge count, maintained incrementally (len of the shadow union)
 	present NodeSet
-	labels  []int // n*n row-major; labels[u*n+v] = label of u->v, 0 if absent
+	out     []NodeSet // row shadows: out[u] = {v : labels[u*n+v] != 0}
+	in      []NodeSet // column shadows: in[v] = {u : labels[u*n+v] != 0}
+	labels  []int32   // n*n row-major; labels[u*n+v] = label of u->v, 0 if absent
+	arena   []uint64  // flat backing store of present + out + in
 }
 
-// NewLabeled returns an empty labeled graph over the universe 0..n-1.
+// NewLabeled returns an empty labeled graph over the universe 0..n-1. All
+// 2n+1 bitsets (present, out, in) share one flat arena, as in NewDigraph;
+// the full-capacity reslices confine each set to its arena slot.
 func NewLabeled(n int) *Labeled {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative universe size %d", n))
 	}
-	return &Labeled{
+	words := (n + wordBits - 1) / wordBits
+	sets := make([]NodeSet, 2*n)
+	arena := make([]uint64, (2*n+1)*words)
+	g := &Labeled{
 		n:       n,
-		present: NewNodeSet(n),
-		labels:  make([]int, n*n),
+		present: NodeSet{words: arena[0:words:words]},
+		out:     sets[:n:n],
+		in:      sets[n:],
+		labels:  make([]int32, n*n),
+		arena:   arena,
 	}
+	for i := 0; i < n; i++ {
+		lo := (1 + i) * words
+		g.out[i] = NodeSet{words: arena[lo : lo+words : lo+words]}
+		lo = (1 + n + i) * words
+		g.in[i] = NodeSet{words: arena[lo : lo+words : lo+words]}
+	}
+	return g
 }
 
 // N returns the universe size.
 func (g *Labeled) N() int { return g.n }
 
+// denseWordCut is the popcount above which the sparse matrix kernels
+// switch from per-bit extraction to a straight scan of the word's 64
+// label cells. Per-bit costs a TrailingZeros + branch per edge; the
+// linear scan costs one predictable pass the hardware prefetches, so it
+// wins once a word is mostly full while sparse words keep the O(edges)
+// walk.
+const denseWordCut = 16
+
+// dense reports whether the graph is dense enough (>= 25% of all ordered
+// pairs labeled) that flat whole-matrix kernels beat the shadow-guided
+// edge-proportional ones. Complete-graph rounds — the decided steady
+// state of Algorithm 1 on a stable skeleton — sit firmly on the flat
+// side; large sparse approximations (E20's hub skeletons) on the other.
+func (g *Labeled) dense() bool { return 4*g.m >= g.n*g.n }
+
 // Reset empties the graph in place, retaining allocated storage; used by
-// the per-round rebuild (Algorithm 1 line 15).
+// the per-round rebuild (Algorithm 1 line 15). Dense graphs take one
+// flat clear of the label matrix and the bitset arena; sparse graphs
+// touch only rows and columns of present nodes (absent nodes have none
+// by invariant), costing O(present·words + edges), not O(n²).
 func (g *Labeled) Reset() {
-	g.present.Clear()
-	for i := range g.labels {
-		g.labels[i] = 0
+	if g.dense() {
+		clear(g.labels)
+		clear(g.arena)
+		g.m = 0
+		return
 	}
+	for u := g.present.Next(0); u >= 0; u = g.present.Next(u + 1) {
+		row := g.out[u].words
+		base := u * g.n
+		for i, w := range row {
+			if w == 0 {
+				continue
+			}
+			if bits.OnesCount64(w) >= denseWordCut {
+				lo := i * wordBits
+				hi := min(lo+wordBits, g.n)
+				clear(g.labels[base+lo : base+hi])
+			} else {
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					w &^= 1 << b
+					g.labels[base+i*wordBits+b] = 0
+				}
+			}
+			row[i] = 0
+		}
+		g.in[u].Clear()
+	}
+	g.present.Clear()
+	g.m = 0
 }
 
 // AddNode marks v present.
@@ -69,15 +148,40 @@ func (g *Labeled) Nodes() NodeSet { return g.present.Clone() }
 // NumNodes returns the number of present nodes.
 func (g *Labeled) NumNodes() int { return g.present.Len() }
 
-// RemoveNode removes v and all incident edges.
+// RemoveNode removes v and all incident edges in O(degree) time: the bit
+// shadows name exactly the label cells to clear, so no row or column scan
+// is needed.
 func (g *Labeled) RemoveNode(v int) {
 	g.check(v)
 	if !g.present.Has(v) {
 		return
 	}
-	for w := 0; w < g.n; w++ {
-		g.labels[v*g.n+w] = 0
-		g.labels[w*g.n+v] = 0
+	g.m -= g.out[v].Len() + g.in[v].Len()
+	if g.out[v].Has(v) {
+		g.m++ // the self-loop sits in both shadows but is one edge
+	}
+	row := g.out[v].words
+	base := v * g.n
+	for i, w := range row {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			t := i*wordBits + b
+			g.labels[base+t] = 0
+			g.in[t].Remove(v)
+		}
+		row[i] = 0
+	}
+	col := g.in[v].words
+	for i, w := range col {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			s := i*wordBits + b
+			g.labels[s*g.n+v] = 0
+			g.out[s].Remove(v)
+		}
+		col[i] = 0
 	}
 	g.present.Remove(v)
 }
@@ -91,10 +195,18 @@ func (g *Labeled) MergeEdge(u, v, label int) bool {
 	if label <= 0 {
 		panic(fmt.Sprintf("graph: non-positive label %d", label))
 	}
+	if label > MaxLabel {
+		panic(fmt.Sprintf("graph: label %d exceeds MaxLabel %d", label, MaxLabel))
+	}
 	g.present.Add(u)
 	g.present.Add(v)
-	if label > g.labels[u*g.n+v] {
-		g.labels[u*g.n+v] = label
+	if int32(label) > g.labels[u*g.n+v] {
+		if g.labels[u*g.n+v] == 0 {
+			g.out[u].Add(v)
+			g.in[v].Add(u)
+			g.m++
+		}
+		g.labels[u*g.n+v] = int32(label)
 		return true
 	}
 	return false
@@ -105,47 +217,38 @@ func (g *Labeled) Label(u, v int) int {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return 0
 	}
-	return g.labels[u*g.n+v]
+	return int(g.labels[u*g.n+v])
 }
 
 // HasEdge reports whether the edge u->v is present.
 func (g *Labeled) HasEdge(u, v int) bool { return g.Label(u, v) != 0 }
 
-// NumEdges returns the number of labeled edges (self-loops included).
-func (g *Labeled) NumEdges() int {
-	c := 0
-	for _, l := range g.labels {
-		if l != 0 {
-			c++
-		}
-	}
-	return c
-}
+// NumEdges returns the number of labeled edges (self-loops included),
+// maintained incrementally so the density dispatch and callers pay O(1).
+func (g *Labeled) NumEdges() int { return g.m }
 
 // Edges returns all labeled edges in deterministic (from, to) order.
 func (g *Labeled) Edges() []LabeledEdge {
-	out := make([]LabeledEdge, 0, 16)
-	for u := 0; u < g.n; u++ {
-		row := g.labels[u*g.n : (u+1)*g.n]
-		for v, l := range row {
-			if l != 0 {
-				out = append(out, LabeledEdge{From: u, To: v, Label: l})
-			}
-		}
-	}
+	out := make([]LabeledEdge, 0, g.NumEdges())
+	g.ForEachEdge(func(u, v, l int) {
+		out = append(out, LabeledEdge{From: u, To: v, Label: l})
+	})
 	return out
 }
 
-// ForEachEdge calls fn for every labeled edge in (from, to) order. Only
-// rows of present nodes are scanned (edges exist only between present
-// nodes — MergeEdge adds endpoints, RemoveNode clears its row and
-// column), which word-skips the empty part of the matrix.
+// ForEachEdge calls fn for every labeled edge in (from, to) order. The
+// row shadows word-skip the empty part of the matrix, so the walk is
+// proportional to the edge count, not n².
 func (g *Labeled) ForEachEdge(fn func(u, v, label int)) {
 	for u := g.present.Next(0); u >= 0; u = g.present.Next(u + 1) {
-		row := g.labels[u*g.n : (u+1)*g.n]
-		for v, l := range row {
-			if l != 0 {
-				fn(u, v, l)
+		row := g.out[u].words
+		base := u * g.n
+		for i, w := range row {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				v := i*wordBits + b
+				fn(u, v, int(g.labels[base+v]))
 			}
 		}
 	}
@@ -155,42 +258,161 @@ func (g *Labeled) ForEachEdge(fn func(u, v, label int)) {
 func (g *Labeled) ForEachNode(fn func(v int)) { g.present.ForEach(fn) }
 
 // MergeFrom merges every node and edge of src into g, keeping the maximum
-// label per ordered pair: Algorithm 1 lines 18-23 for one received graph,
-// as one word-level present union plus one element-wise max over the
-// label matrices. It allocates nothing.
+// label per ordered pair: Algorithm 1 lines 18-23 for one received graph.
+// A dense src takes the flat path — one element-wise max over the label
+// matrices plus one word-parallel OR of the whole bitset arena (nodes and
+// both shadows merge by union) — the branch-predictable scan that wins on
+// complete-graph rounds. A sparse src is walked edge-proportionally
+// through its row shadows: O(src present·words + src edges), not O(n²).
+// Either way it allocates nothing.
 func (g *Labeled) MergeFrom(src *Labeled) {
 	if g.n != src.n {
 		panic(fmt.Sprintf("graph: MergeFrom universe mismatch %d vs %d", g.n, src.n))
 	}
+	if src.dense() {
+		da := g.arena[:len(src.arena)]
+		for i, w := range src.arena { // present + both shadows: union is OR
+			da[i] |= w
+		}
+		words := len(g.present.words)
+		m := 0
+		for _, w := range da[words : (1+g.n)*words] { // recount from the row shadows
+			m += bits.OnesCount64(w)
+		}
+		g.m = m
+		dl := g.labels[:len(src.labels)]
+		for i, l := range src.labels {
+			if l > dl[i] {
+				dl[i] = l
+			}
+		}
+		return
+	}
 	g.present.UnionWith(src.present)
-	dst := g.labels
-	for i, l := range src.labels {
-		if l > dst[i] {
-			dst[i] = l
+	for u := src.present.Next(0); u >= 0; u = src.present.Next(u + 1) {
+		srow := src.out[u].words
+		drow := g.out[u].words
+		base := u * g.n
+		sl := src.labels[base : base+g.n]
+		dl := g.labels[base : base+g.n]
+		for i, w := range srow {
+			if w == 0 {
+				continue
+			}
+			if bits.OnesCount64(w) >= denseWordCut {
+				// Dense word: linear max-merge over the 64 cells
+				// (absent cells have sl[v] == 0, so they never win),
+				// with in-shadow updates only for genuinely new edges.
+				lo := i * wordBits
+				hi := min(lo+wordBits, g.n)
+				for v := lo; v < hi; v++ {
+					if sl[v] > dl[v] {
+						dl[v] = sl[v]
+					}
+				}
+				nw := w &^ drow[i]
+				g.m += bits.OnesCount64(nw)
+				for nw != 0 {
+					b := bits.TrailingZeros64(nw)
+					nw &^= 1 << b
+					g.in[lo+b].Add(u)
+				}
+			} else {
+				for t := w; t != 0; {
+					b := bits.TrailingZeros64(t)
+					t &^= 1 << b
+					v := i*wordBits + b
+					if sl[v] > dl[v] {
+						if dl[v] == 0 {
+							g.in[v].Add(u)
+							g.m++
+						}
+						dl[v] = sl[v]
+					}
+				}
+			}
+			drow[i] |= w
 		}
 	}
 }
 
 // PurgeOlderThan removes every edge with label <= threshold: Algorithm 1
 // line 24 with threshold = r - n. It returns the number of edges removed.
+// Labels are >= 1, so thresholds below 1 return immediately; otherwise
+// the row shadows restrict the scan to actual edges.
 func (g *Labeled) PurgeOlderThan(threshold int) int {
+	if threshold < 1 {
+		return 0
+	}
+	t32 := int32(MaxLabel)
+	if threshold < MaxLabel {
+		t32 = int32(threshold)
+	}
 	removed := 0
-	for i, l := range g.labels {
-		if l != 0 && l <= threshold {
-			g.labels[i] = 0
-			removed++
+	if g.dense() {
+		// Flat path: one predictable scan of the whole matrix. In the
+		// decided steady state every label is fresh, so this is a pure
+		// read pass; the per-edge shadow repair runs only on removal.
+		for i, l := range g.labels {
+			if l != 0 && l <= t32 {
+				u, v := i/g.n, i%g.n
+				g.labels[i] = 0
+				g.out[u].Remove(v)
+				g.in[v].Remove(u)
+				removed++
+			}
+		}
+		g.m -= removed
+		return removed
+	}
+	for u := g.present.Next(0); u >= 0; u = g.present.Next(u + 1) {
+		row := g.out[u].words
+		base := u * g.n
+		for i, w := range row {
+			if w == 0 {
+				continue
+			}
+			if bits.OnesCount64(w) >= denseWordCut {
+				lo := i * wordBits
+				hi := min(lo+wordBits, g.n)
+				for v := lo; v < hi; v++ {
+					if l := g.labels[base+v]; l != 0 && l <= t32 {
+						g.labels[base+v] = 0
+						row[i] &^= 1 << (v - lo)
+						g.in[v].Remove(u)
+						removed++
+					}
+				}
+			} else {
+				for t := w; t != 0; {
+					b := bits.TrailingZeros64(t)
+					t &^= 1 << b
+					v := i*wordBits + b
+					if g.labels[base+v] <= t32 {
+						g.labels[base+v] = 0
+						row[i] &^= 1 << b
+						g.in[v].Remove(u)
+						removed++
+					}
+				}
+			}
 		}
 	}
+	g.m -= removed
 	return removed
 }
 
 // Unlabeled returns the plain digraph with the same present nodes and
 // edges (labels dropped): the paper's "unweighted version of G_p" used for
-// the subgraph relations in Section IV-A.
+// the subgraph relations in Section IV-A. The bit shadows are copied
+// word-wise straight into the digraph's adjacency sets.
 func (g *Labeled) Unlabeled() *Digraph {
 	d := NewDigraph(g.n)
-	g.present.ForEach(func(v int) { d.AddNode(v) })
-	g.ForEachEdge(func(u, v, _ int) { d.AddEdge(u, v) })
+	d.present.CopyFrom(g.present)
+	for i := 0; i < g.n; i++ {
+		d.out[i].CopyFrom(g.out[i])
+		d.in[i].CopyFrom(g.in[i])
+	}
 	return d
 }
 
@@ -203,9 +425,9 @@ func (g *Labeled) PruneUnreachableTo(p int) int {
 }
 
 // PruneUnreachableToInPlace is PruneUnreachableTo with caller-owned
-// scratch. It runs directly on the label matrix — reverse reachability
-// from p word-scans the present bitset for in-neighbors — so no
-// intermediate Digraph is materialized and steady-state calls allocate
+// scratch. Reverse reachability from p runs word-parallel on the column
+// shadows, the dead set is one word-level AND-NOT against the present
+// bitset, and each removal is O(degree); steady-state calls allocate
 // nothing.
 func (g *Labeled) PruneUnreachableToInPlace(p int, s *ReachScratch) int {
 	g.check(p)
@@ -232,11 +454,11 @@ func (g *Labeled) StronglyConnected() bool {
 	return g.StronglyConnectedInto(&s)
 }
 
-// StronglyConnectedInto is StronglyConnected with caller-owned scratch.
-// It runs directly on the label matrix: a forward reachability pass over
-// the rows and a backward pass over the columns from the smallest present
-// node, each compared word-wise against the present bitset. No Digraph is
-// materialized and steady-state calls allocate nothing.
+// StronglyConnectedInto is StronglyConnected with caller-owned scratch:
+// a forward reachability pass over the row shadows and a backward pass
+// over the column shadows from the smallest present node, each compared
+// word-wise against the present bitset. Steady-state calls allocate
+// nothing.
 func (g *Labeled) StronglyConnectedInto(s *ReachScratch) bool {
 	first := g.present.Min()
 	if first < 0 {
@@ -253,7 +475,9 @@ func (g *Labeled) StronglyConnectedInto(s *ReachScratch) bool {
 }
 
 // forwardReachInto fills s.seen with every present node reachable from
-// start along label-matrix rows (out-edges).
+// start along out-edges. The frontier walk is word-parallel: each popped
+// node contributes its whole adjacency row with one AND-NOT + OR per
+// word, and only newly seen nodes are pushed.
 func (g *Labeled) forwardReachInto(start int, s *ReachScratch) {
 	s.reset(g.n)
 	s.seen.Add(start)
@@ -261,23 +485,25 @@ func (g *Labeled) forwardReachInto(start int, s *ReachScratch) {
 	for len(s.stack) > 0 {
 		u := s.stack[len(s.stack)-1]
 		s.stack = s.stack[:len(s.stack)-1]
-		row := g.labels[u*g.n : (u+1)*g.n]
-		for i, word := range g.present.words {
-			cand := word &^ s.seen.words[i]
-			for cand != 0 {
-				b := bits.TrailingZeros64(cand)
-				cand &^= 1 << b
-				if row[i*wordBits+b] != 0 {
-					s.seen.words[i] |= 1 << b
-					s.stack = append(s.stack, i*wordBits+b)
-				}
+		for i, w := range g.out[u].words {
+			nw := w &^ s.seen.words[i]
+			if nw == 0 {
+				continue
+			}
+			s.seen.words[i] |= nw
+			for nw != 0 {
+				b := bits.TrailingZeros64(nw)
+				nw &^= 1 << b
+				s.stack = append(s.stack, i*wordBits+b)
 			}
 		}
 	}
 }
 
 // reverseReachInto fills s.seen with every present node that reaches
-// start, following label-matrix columns (in-edges).
+// start, following in-edges. Identical word-parallel frontier walk as
+// forwardReachInto, over the column shadows — no strided column scans of
+// the label matrix.
 func (g *Labeled) reverseReachInto(start int, s *ReachScratch) {
 	s.reset(g.n)
 	s.seen.Add(start)
@@ -285,16 +511,16 @@ func (g *Labeled) reverseReachInto(start int, s *ReachScratch) {
 	for len(s.stack) > 0 {
 		u := s.stack[len(s.stack)-1]
 		s.stack = s.stack[:len(s.stack)-1]
-		for i, word := range g.present.words {
-			cand := word &^ s.seen.words[i]
-			for cand != 0 {
-				b := bits.TrailingZeros64(cand)
-				cand &^= 1 << b
-				w := i*wordBits + b
-				if g.labels[w*g.n+u] != 0 {
-					s.seen.words[i] |= 1 << b
-					s.stack = append(s.stack, w)
-				}
+		for i, w := range g.in[u].words {
+			nw := w &^ s.seen.words[i]
+			if nw == 0 {
+				continue
+			}
+			s.seen.words[i] |= nw
+			for nw != 0 {
+				b := bits.TrailingZeros64(nw)
+				nw &^= 1 << b
+				s.stack = append(s.stack, i*wordBits+b)
 			}
 		}
 	}
@@ -302,24 +528,22 @@ func (g *Labeled) reverseReachInto(start int, s *ReachScratch) {
 
 // Clone returns a deep copy.
 func (g *Labeled) Clone() *Labeled {
-	c := &Labeled{
-		n:       g.n,
-		present: g.present.Clone(),
-		labels:  make([]int, len(g.labels)),
-	}
-	copy(c.labels, g.labels)
+	c := NewLabeled(g.n)
+	c.CopyFrom(g)
 	return c
 }
 
 // CopyFrom overwrites g with the contents of src (same universe
-// required), reusing the receiver's present-set words and label matrix so
-// repeated copies allocate nothing.
+// required), reusing the receiver's arena and label matrix so repeated
+// copies allocate nothing. The whole bitset arena (present + both
+// shadows) is one flat copy.
 func (g *Labeled) CopyFrom(src *Labeled) {
 	if g.n != src.n {
 		panic(fmt.Sprintf("graph: CopyFrom universe mismatch %d vs %d", g.n, src.n))
 	}
-	g.present.CopyFrom(src.present)
+	copy(g.arena, src.arena)
 	copy(g.labels, src.labels)
+	g.m = src.m
 }
 
 // Equal reports whether g and h have the same nodes, edges, and labels.

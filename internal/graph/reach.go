@@ -38,7 +38,9 @@ func Reachable(g *Digraph, v int) NodeSet {
 
 // ReachableInto is Reachable with caller-owned scratch: the returned set
 // is the scratch's visited set and stays valid only until the scratch is
-// reused.
+// reused. The frontier walk is word-parallel: each popped node merges its
+// whole adjacency row with one AND-NOT + OR per word, and only newly seen
+// nodes are pushed.
 func ReachableInto(g *Digraph, v int, s *ReachScratch) NodeSet {
 	if !g.HasNode(v) {
 		panic("graph: Reachable from absent node")
@@ -50,11 +52,14 @@ func ReachableInto(g *Digraph, v int, s *ReachScratch) NodeSet {
 		u := s.stack[len(s.stack)-1]
 		s.stack = s.stack[:len(s.stack)-1]
 		for i, w := range g.out[u].words {
-			cand := w &^ s.seen.words[i]
-			for cand != 0 {
-				x := bits.TrailingZeros64(cand)
-				cand &^= 1 << x
-				s.seen.words[i] |= 1 << x
+			nw := w &^ s.seen.words[i]
+			if nw == 0 {
+				continue
+			}
+			s.seen.words[i] |= nw
+			for nw != 0 {
+				x := bits.TrailingZeros64(nw)
+				nw &^= 1 << x
 				s.stack = append(s.stack, i*wordBits+x)
 			}
 		}
@@ -73,7 +78,8 @@ func NodesReaching(g *Digraph, v int) NodeSet {
 
 // NodesReachingInto is NodesReaching with caller-owned scratch: the
 // returned set is the scratch's visited set and stays valid only until
-// the scratch is reused.
+// the scratch is reused. Same word-parallel frontier walk as
+// ReachableInto, over the in-adjacency rows.
 func NodesReachingInto(g *Digraph, v int, s *ReachScratch) NodeSet {
 	if !g.HasNode(v) {
 		panic("graph: NodesReaching on absent node")
@@ -85,11 +91,14 @@ func NodesReachingInto(g *Digraph, v int, s *ReachScratch) NodeSet {
 		u := s.stack[len(s.stack)-1]
 		s.stack = s.stack[:len(s.stack)-1]
 		for i, w := range g.in[u].words {
-			cand := w &^ s.seen.words[i]
-			for cand != 0 {
-				x := bits.TrailingZeros64(cand)
-				cand &^= 1 << x
-				s.seen.words[i] |= 1 << x
+			nw := w &^ s.seen.words[i]
+			if nw == 0 {
+				continue
+			}
+			s.seen.words[i] |= nw
+			for nw != 0 {
+				x := bits.TrailingZeros64(nw)
+				nw &^= 1 << x
 				s.stack = append(s.stack, i*wordBits+x)
 			}
 		}

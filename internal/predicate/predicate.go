@@ -15,6 +15,7 @@
 package predicate
 
 import (
+	"fmt"
 	"math/bits"
 
 	"kset/internal/graph"
@@ -154,64 +155,112 @@ func HoldsBrute(skel *graph.Digraph, k int) bool {
 // MaxIndependentSet computes a maximum independent set of an undirected
 // graph (given as a symmetric digraph) exactly, by branch and bound. All
 // n universe nodes participate, present or not (absent nodes have no
-// edges and are trivially independent). Exponential worst case; intended
-// for the n ≤ 64 range used in experiments.
+// edges and are trivially independent). Exponential worst case; fast in
+// practice on the dense shares-a-source graphs MinK feeds it.
 //
-// For n ≤ 64 the search runs on single-word bitsets with no allocation
-// per branch node; the branch order (always split on the smallest
-// candidate, include-branch first) is identical to the generic path, so
-// both return the same set.
+// For n ≤ 64 the search runs on single-word bitsets; beyond one word it
+// runs on a flat multi-word matrix with depth-indexed candidate rows, so
+// neither path allocates per branch node. The branch order (always split
+// on the smallest candidate, include-branch first) is identical in both,
+// so they return bit-identical sets on any graph both can represent
+// (pinned by the differential tests).
 func MaxIndependentSet(h *graph.Digraph) graph.NodeSet {
-	n := h.N()
-	if n <= 64 {
+	if h.N() <= 64 {
 		return maxIndependentSet64(h)
 	}
-	adj := make([]graph.NodeSet, n)
-	for v := 0; v < n; v++ {
-		if h.HasNode(v) {
-			a := h.OutNeighbors(v)
-			a.Remove(v) // ignore self-loops
-			adj[v] = a
-		} else {
-			adj[v] = graph.NewNodeSet(n)
-		}
-	}
-	best := graph.NewNodeSet(n)
-	cur := graph.NewNodeSet(n)
+	return maxIndependentSetMulti(h)
+}
 
-	var rec func(cand graph.NodeSet)
-	rec = func(cand graph.NodeSet) {
-		if cur.Len()+cand.Len() <= best.Len() {
-			return // bound: cannot beat the incumbent
+// maxIndependentSetMulti is the width-generic branch-and-bound. All
+// traversal state lives in three flat allocations made once per call: a
+// row-major adjacency bit matrix, a (n+1)×words stack of candidate rows
+// indexed by recursion depth, and the cur/best sets — no per-branch
+// allocation, no NodeSet clones.
+func maxIndependentSetMulti(h *graph.Digraph) graph.NodeSet {
+	n := h.N()
+	words := (n + 63) / 64
+	adj := make([]uint64, n*words)
+	for v := 0; v < n; v++ {
+		if !h.HasNode(v) {
+			continue
 		}
-		v := cand.Min()
-		if v < 0 {
-			if cur.Len() > best.Len() {
-				best = cur.Clone()
-			}
-			return
-		}
-		// Branch 1: v in the set — drop v and its neighbors.
-		with := cand.Clone()
-		with.Remove(v)
-		with.SubtractWith(adj[v])
-		cur.Add(v)
-		rec(with)
-		cur.Remove(v)
-		// Branch 2: v not in the set.
-		without := cand.Clone()
-		without.Remove(v)
-		rec(without)
+		row := adj[v*words : (v+1)*words]
+		h.ForEachOut(v, func(u int) { row[u/64] |= 1 << (u % 64) })
+		row[v/64] &^= 1 << (v % 64) // ignore self-loops
 	}
-	rec(graph.FullNodeSet(n))
-	return best
+	cand := make([]uint64, (n+1)*words)
+	curBest := make([]uint64, 2*words)
+	cur, best := curBest[:words], curBest[words:]
+	bestLen, curLen := 0, 0
+	full := cand[:words]
+	for i := range full {
+		full[i] = ^uint64(0)
+	}
+	if n%64 != 0 {
+		full[words-1] = (uint64(1) << (n % 64)) - 1
+	}
+	var rec func(d int)
+	rec = func(d int) {
+		row := cand[d*words : (d+1)*words]
+		for {
+			pc := 0
+			for _, w := range row {
+				pc += bits.OnesCount64(w)
+			}
+			if curLen+pc <= bestLen {
+				return // bound: cannot beat the incumbent
+			}
+			if pc == 0 {
+				copy(best, cur)
+				bestLen = curLen
+				return
+			}
+			v := 0
+			for i, w := range row {
+				if w != 0 {
+					v = i*64 + bits.TrailingZeros64(w)
+					break
+				}
+			}
+			vi, vb := v/64, uint64(1)<<(v%64)
+			// Branch 1: v in the set — drop v and its neighbors.
+			next := cand[(d+1)*words : (d+2)*words]
+			arow := adj[v*words : (v+1)*words]
+			for i := range row {
+				next[i] = row[i] &^ arow[i]
+			}
+			next[vi] &^= vb
+			cur[vi] |= vb
+			curLen++
+			rec(d + 1)
+			cur[vi] &^= vb
+			curLen--
+			// Branch 2: v not in the set — clear v and loop (the loop
+			// iteration is the recursive call of the single-word path).
+			row[vi] &^= vb
+		}
+	}
+	rec(0)
+	out := graph.NewNodeSet(n)
+	for i, w := range best {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			out.Add(i*64 + b)
+		}
+	}
+	return out
 }
 
 // maxIndependentSet64 is the single-word branch-and-bound used for
 // universes of at most 64 nodes — the hot path of MinK, which sim.Execute
-// runs once per simulation.
+// runs once per simulation. It refuses wider universes loudly: a silent
+// call would truncate the adjacency to the first word.
 func maxIndependentSet64(h *graph.Digraph) graph.NodeSet {
 	n := h.N()
+	if n > 64 {
+		panic(fmt.Sprintf("predicate: maxIndependentSet64 on universe %d > 64", n))
+	}
 	var adj [64]uint64
 	for v := 0; v < n; v++ {
 		if !h.HasNode(v) {
