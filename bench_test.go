@@ -541,6 +541,17 @@ func BenchmarkTransportRound(b *testing.B) {
 		// tolerate (E19 covers that shape's throughput instead).
 		{"tcp", []int{8}, func(n int) (transport.Transport, error) { return transport.NewTCPLoopback(n, nil) }},
 		{"tcpnodes2", []int{8, 32}, func(n int) (transport.Transport, error) { return transport.NewTCPMeshLoopback(n, 2, nil) }},
+		// The UDP rows mirror the TCP ones (same n=8 restriction on the
+		// fully distributed shape, for the same pool-eviction reason).
+		// Default options: on a quiet loopback nothing is lost, so the
+		// round deadline never fires and ns/op measures the datagram
+		// batch path, not absence closure.
+		{"udp", []int{8}, func(n int) (transport.Transport, error) {
+			return transport.NewUDPMeshLoopback(n, n, nil, transport.UDPOpts{})
+		}},
+		{"udpnodes2", []int{8, 32}, func(n int) (transport.Transport, error) {
+			return transport.NewUDPMeshLoopback(n, 2, nil, transport.UDPOpts{})
+		}},
 	}
 	for _, kind := range kinds {
 		for _, n := range kind.ns {

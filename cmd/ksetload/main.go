@@ -13,16 +13,20 @@
 // consistent counters, and reports sessions/sec.
 //
 // Runtime mode measures raw round throughput of one distributed run —
-// rounds/sec over in-proc channels, TCP loopback, or the lockstep
-// simulator for reference (EXPERIMENTS.md §E18):
+// rounds/sec over in-proc channels, TCP loopback, best-effort UDP, or
+// the lockstep simulator for reference (EXPERIMENTS.md §E18, §E21):
 //
-//	ksetload -mode runtime -transport inproc|tcp|sim -n 16 -rounds 200 -trials 3
+//	ksetload -mode runtime -transport inproc|tcp|udp|sim -n 16 -rounds 200 -trials 3
 //
-// TCP runs take -nodes to group the n processes onto fewer mesh nodes
-// (coalesced frames; 0 = one node per process). -floor FAILS the run if
-// the measured median falls below the given rounds/sec — the CI
-// throughput smoke uses it as a regression tripwire. -cpuprofile writes
-// a pprof CPU profile covering the measured trials.
+// TCP and UDP runs take -nodes to group the n processes onto fewer mesh
+// nodes (coalesced frames; 0 = one node per process). UDP runs take
+// -loss to additionally lose that fraction of frames i.i.d. on the wire
+// (deterministic from -seed); the algorithm tolerates the loss, so the
+// run still completes — slower, since lossy rounds close by deadline.
+// -floor FAILS the run if the measured median falls below the given
+// rounds/sec — the CI throughput smoke uses it as a regression
+// tripwire. -cpuprofile writes a pprof CPU profile covering the
+// measured trials.
 package main
 
 import (
@@ -69,10 +73,11 @@ func run(args []string, stdout io.Writer) error {
 	// Shared / runtime mode.
 	n := fs.Int("n", 8, "processes per session/run")
 	seed := fs.Int64("seed", 1, "base seed")
-	transport := fs.String("transport", "inproc", "runtime mode: inproc, tcp, or sim (lockstep reference)")
+	transport := fs.String("transport", "inproc", "runtime mode: inproc, tcp, udp, or sim (lockstep reference)")
 	rounds := fs.Int("rounds", 200, "runtime mode: rounds per trial")
 	trials := fs.Int("trials", 3, "runtime mode: trials (median reported)")
-	nodes := fs.Int("nodes", 0, "runtime mode, tcp: mesh nodes to group processes onto (0 = one per process)")
+	nodes := fs.Int("nodes", 0, "runtime mode, tcp/udp: mesh nodes to group processes onto (0 = one per process)")
+	loss := fs.Float64("loss", 0, "runtime mode, udp: i.i.d. frame loss probability injected on the wire")
 	floor := fs.Float64("floor", 0, "runtime mode: fail unless median rounds/sec reaches this floor (0 = no check)")
 	cpuprofile := fs.String("cpuprofile", "", "runtime mode: write a CPU profile of the measured trials to this file")
 	asJSON := fs.Bool("json", false, "emit a JSON summary instead of text")
@@ -88,7 +93,7 @@ func run(args []string, stdout io.Writer) error {
 	case "runtime":
 		return runRuntime(stdout, runtimeParams{
 			transport: *transport, n: *n, rounds: *rounds, trials: *trials,
-			nodes: *nodes, seed: *seed, floor: *floor, cpuprofile: *cpuprofile, asJSON: *asJSON,
+			nodes: *nodes, loss: *loss, seed: *seed, floor: *floor, cpuprofile: *cpuprofile, asJSON: *asJSON,
 		})
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
@@ -325,6 +330,7 @@ type runtimeParams struct {
 	rounds     int
 	trials     int
 	nodes      int
+	loss       float64
 	seed       int64
 	floor      float64
 	cpuprofile string
@@ -335,8 +341,11 @@ func runRuntime(stdout io.Writer, p runtimeParams) error {
 	if p.n < 1 || p.rounds < 1 || p.trials < 1 {
 		return fmt.Errorf("need positive -n, -rounds, -trials")
 	}
-	if p.nodes != 0 && p.transport != "tcp" {
-		return fmt.Errorf("-nodes only applies to -transport tcp")
+	if p.nodes != 0 && p.transport != "tcp" && p.transport != "udp" {
+		return fmt.Errorf("-nodes only applies to -transport tcp or udp")
+	}
+	if p.loss != 0 && p.transport != "udp" {
+		return fmt.Errorf("-loss only applies to -transport udp")
 	}
 	if p.cpuprofile != "" {
 		f, err := os.Create(p.cpuprofile)
@@ -364,9 +373,13 @@ func runRuntime(stdout io.Writer, p runtimeParams) error {
 		case "inproc":
 			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{})
 		case "tcp":
-			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{TCP: true, TCPNodes: p.nodes})
+			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{Kind: "tcp", Nodes: p.nodes})
+		case "udp":
+			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{
+				Kind: "udp", Nodes: p.nodes, Loss: p.loss, LossSeed: p.seed,
+			})
 		default:
-			return fmt.Errorf("unknown transport %q (want inproc, tcp, or sim)", p.transport)
+			return fmt.Errorf("unknown transport %q (want inproc, tcp, udp, or sim)", p.transport)
 		}
 		start := time.Now()
 		if _, err := sim.Execute(spec); err != nil {

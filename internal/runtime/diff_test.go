@@ -36,6 +36,31 @@ func TestDifferentialSuiteInProc(t *testing.T) {
 	}
 }
 
+// TestDifferentialSuiteN128 replays the full schedule suite at n = 128
+// on the distributed runtime over the in-process transport — 128
+// process goroutines per run, every E1–E16 family — and requires exact
+// outcome equality with the simulator. This is the scale pin: the
+// runtime's control plane, codec sharing, and transport windowing must
+// not degrade into divergence (or deadlock) an order of magnitude above
+// the everyday test sizes. Rounds are capped: per-round cost at this n
+// is dominated by the O(n^4) knowledge-graph merges (~0.4s/round on one
+// core once knowledge saturates), so full-length decided runs belong to
+// benchmarks, not the default test budget — twelve rounds already cross
+// every multi-word bitset path, the shared-decode plane, and the
+// transport window machinery at full width.
+func TestDifferentialSuiteN128(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=128 differential suite exceeds the short-test budget")
+	}
+	const n = 128
+	for _, sched := range ScheduleSuite(n, int64(1000+n)) {
+		sched.Spec.MaxRounds = 12
+		if err := Diff(sched.Spec, DiffOpts{}); err != nil {
+			t.Errorf("n=%d %s: %v", n, sched.Name, err)
+		}
+	}
+}
+
 // TestDifferentialPipelined replays the suite with RunToCompletion set:
 // no StopWhen predicate, so the runtime takes the pipelined send path
 // (round r+1's broadcast precedes the round-r report). Every decision,

@@ -268,14 +268,34 @@ func abortErr(self, r int, err error) error {
 
 // RunnerOpts configures NewRunner.
 type RunnerOpts struct {
-	// TCP selects the TCP loopback transport; default is the in-process
-	// mailbox transport.
+	// Kind selects the transport: "inproc" (default), "tcp", or "udp".
+	// Empty defers to the legacy TCP flag below.
+	Kind string
+	// Nodes groups the n processes onto this many mesh nodes for the
+	// socket transports (co-located processes share sockets and their
+	// rounds coalesce into one frame per node pair). 0 or >= n means one
+	// node per process — the fully distributed shape.
+	Nodes int
+	// UDP configures the datagram mesh when Kind is "udp" (round
+	// deadline, grace, datagram size, meter, injected datagram loss).
+	// The zero value takes the transport's defaults.
+	UDP transport.UDPOpts
+	// Loss, when positive and Kind is "udp", loses each round frame on
+	// the wire i.i.d. with this probability (deterministically from
+	// LossSeed) — real absence-style loss, composed with any
+	// UDP.DropDatagram hook and with the schedule's Policy drops. The
+	// algorithm tolerates it by design; the loss-replay harness
+	// (LossReplay) verifies the realized run still satisfies the paper's
+	// bounds.
+	Loss     float64
+	LossSeed int64
+
+	// TCP selects the TCP loopback transport when Kind is empty; kept
+	// for existing call sites, equivalent to Kind: "tcp".
 	TCP bool
-	// TCPNodes, when TCP is set, groups the n processes onto this many
-	// mesh nodes (co-located processes share sockets and their rounds
-	// coalesce into one frame per node pair). 0 or >= n means one node
-	// per process — the fully distributed shape.
+	// TCPNodes is the legacy spelling of Nodes.
 	TCPNodes int
+
 	// Codec encodes the algorithm's messages; nil means WireCodec
 	// (Algorithm 1 over internal/wire).
 	Codec Codec
@@ -285,6 +305,29 @@ type RunnerOpts struct {
 	// skew is.
 	Jitter     time.Duration
 	JitterSeed int64
+}
+
+// kind resolves the transport selection, folding the legacy TCP flag in.
+func (o RunnerOpts) kind() string {
+	if o.Kind != "" {
+		return o.Kind
+	}
+	if o.TCP {
+		return "tcp"
+	}
+	return "inproc"
+}
+
+// meshNodes resolves the node count for an n-process socket mesh.
+func (o RunnerOpts) meshNodes(n int) int {
+	nodes := o.Nodes
+	if nodes == 0 {
+		nodes = o.TCPNodes
+	}
+	if nodes <= 0 || nodes > n {
+		nodes = n
+	}
+	return nodes
 }
 
 // NewRunner adapts the distributed runtime to the executor signature of
@@ -304,18 +347,30 @@ func NewRunner(opts RunnerOpts) func(rounds.Config) (*rounds.Result, error) {
 			pol = transport.Jitter{Inner: pol, Seed: opts.JitterSeed, Max: opts.Jitter}
 		}
 		var tr transport.Transport
-		if opts.TCP {
-			nodes := opts.TCPNodes
-			if nodes <= 0 || nodes > adv.N() {
-				nodes = adv.N()
-			}
-			t, err := transport.NewTCPMeshLoopback(adv.N(), nodes, pol)
+		switch kind := opts.kind(); kind {
+		case "inproc":
+			tr = transport.NewInProc(adv.N(), pol)
+		case "tcp":
+			t, err := transport.NewTCPMeshLoopback(adv.N(), opts.meshNodes(adv.N()), pol)
 			if err != nil {
 				return nil, err
 			}
 			tr = t
-		} else {
-			tr = transport.NewInProc(adv.N(), pol)
+		case "udp":
+			u := opts.UDP
+			if injected := transport.FrameLoss(opts.Loss, opts.LossSeed); injected != nil {
+				inner := u.DropDatagram
+				u.DropDatagram = func(r, from, to, frag int) bool {
+					return injected(r, from, to, frag) || (inner != nil && inner(r, from, to, frag))
+				}
+			}
+			t, err := transport.NewUDPMeshLoopback(adv.N(), opts.meshNodes(adv.N()), pol, u)
+			if err != nil {
+				return nil, err
+			}
+			tr = t
+		default:
+			return nil, fmt.Errorf("runtime: unknown transport kind %q", kind)
 		}
 		return Run(cfg, tr, opts.Codec)
 	}

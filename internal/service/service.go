@@ -25,6 +25,7 @@ import (
 	"kset/internal/rounds"
 	"kset/internal/runtime"
 	"kset/internal/sim"
+	"kset/internal/transport"
 )
 
 // Config sizes the service.
@@ -85,8 +86,11 @@ type SessionSpec struct {
 	// instead of the repaired conservative one (see E10: the published
 	// guard may exceed the k-bound).
 	FaithfulGuard bool `json:"faithful_guard,omitempty"`
-	// Transport selects the session's wire layer: "inproc" (default) or
-	// "tcp" (loopback sockets; costs n listeners + n² streams).
+	// Transport selects the session's wire layer: "inproc" (default),
+	// "tcp" (loopback sockets; costs n listeners + n² streams), or
+	// "udp" (best-effort datagrams; the session runs with a generous
+	// round deadline so a quiet loopback loses nothing, but any real
+	// loss is tolerated by the algorithm, not retransmitted).
 	Transport string `json:"transport,omitempty"`
 	// MaxRounds overrides the automatic round bound.
 	MaxRounds int `json:"max_rounds,omitempty"`
@@ -277,7 +281,7 @@ func (s *Service) validate(spec *SessionSpec) error {
 		return fmt.Errorf("%d proposals for n = %d", len(spec.Proposals), spec.N)
 	}
 	switch spec.Transport {
-	case "", "inproc", "tcp":
+	case "", "inproc", "tcp", "udp":
 	default:
 		return fmt.Errorf("unknown transport %q", spec.Transport)
 	}
@@ -392,12 +396,20 @@ func runSession(spec SessionSpec) (*sim.Outcome, error) {
 	if props == nil {
 		props = sim.SeqProposals(spec.N)
 	}
+	ropts := runtime.RunnerOpts{Kind: spec.Transport}
+	if spec.Transport == "udp" {
+		// Sessions favor fidelity over round latency: with a generous
+		// deadline, a quiet loopback effectively never loses a frame, so
+		// session results stay replayable in practice while the
+		// algorithm still tolerates any loss that does occur.
+		ropts.UDP = transport.UDPOpts{RoundTimeout: 250 * time.Millisecond, Grace: 2 * time.Millisecond}
+	}
 	return sim.Execute(sim.Spec{
 		Adversary: adv,
 		Proposals: props,
 		Opts:      core.Options{ConservativeDecide: !spec.FaithfulGuard},
 		MaxRounds: spec.MaxRounds,
-		Runner:    runtime.NewRunner(runtime.RunnerOpts{TCP: spec.Transport == "tcp"}),
+		Runner:    runtime.NewRunner(ropts),
 	})
 }
 

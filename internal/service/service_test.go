@@ -37,6 +37,7 @@ func TestSubmitValidation(t *testing.T) {
 		{N: 7, Family: "figure1"},
 		{N: 4, Family: "rooted", Roots: 9},
 		{N: 4, Family: "lowerbound", K: 17},
+		{N: 129, Family: "rooted"},
 	})
 	if res[0].Error != "" || res[0].ID == "" {
 		t.Fatalf("valid spec rejected: %+v", res[0])
@@ -62,6 +63,7 @@ func TestSessionLifecycleAndKBound(t *testing.T) {
 		{N: 5, Family: "complete", Seed: 13},
 		{N: 5, Family: "eventual", Noisy: 3, Seed: 14},
 		{N: 4, Family: "single_source", Seed: 15, Transport: "tcp"},
+		{N: 4, Family: "rooted", Roots: 2, Seed: 16, Transport: "udp"},
 	}
 	res := s.Submit(specs)
 	for i, r := range res {
@@ -88,6 +90,43 @@ func TestSessionLifecycleAndKBound(t *testing.T) {
 	}
 }
 
+// TestSessionAtMaxN pins that the service genuinely accepts and
+// executes sessions at the default MaxN (128) — the ceiling is not
+// decorative — on the in-process transport and over the full
+// 128-socket UDP mesh. Rounds are capped via the spec: deciding at
+// n=128 inherently takes ~n rounds of O(n^4) merge work (about a
+// minute on one core), so the scale pin runs a fixed prefix and
+// asserts clean execution and the k-bound instead of decision.
+func TestSessionAtMaxN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=128 sessions exceed the short-test budget")
+	}
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	const capRounds = 10
+	specs := []SessionSpec{
+		{N: 128, Family: "rooted", Roots: 4, Noisy: 16, Seed: 2, MaxRounds: capRounds},
+		{N: 128, Family: "rooted", Roots: 4, Seed: 3, MaxRounds: capRounds, Transport: "udp"},
+	}
+	for i, r := range s.Submit(specs) {
+		if r.Error != "" {
+			t.Fatalf("n=128 spec %d rejected: %s", i, r.Error)
+		}
+		sess := waitDone(t, s, r.ID)
+		if sess.Status != "done" {
+			t.Fatalf("n=128 spec %d (%s/%s): status %s, error %s",
+				i, specs[i].Family, specs[i].Transport, sess.Status, sess.Error)
+		}
+		if sess.Result.Rounds != capRounds {
+			t.Errorf("n=128 spec %d: ran %d rounds, want %d", i, sess.Result.Rounds, capRounds)
+		}
+		if !sess.Result.KBound {
+			t.Errorf("n=128 spec %d: %d distinct decisions exceed MinK %d",
+				i, len(sess.Result.Distinct), sess.Result.MinK)
+		}
+	}
+}
+
 // TestDeterministicReplay pins that a session is replayable from its
 // spec: same spec, same decisions — across fresh service instances and
 // across transports.
@@ -104,15 +143,21 @@ func TestDeterministicReplay(t *testing.T) {
 		results = append(results, sess.Result)
 		s.Close()
 	}
-	tcp := spec
-	tcp.Transport = "tcp"
 	s := New(Config{Workers: 2})
 	defer s.Close()
-	sess := waitDone(t, s, s.Submit([]SessionSpec{tcp})[0].ID)
-	if sess.Status != "done" {
-		t.Fatalf("tcp replay failed: %s", sess.Error)
+	// "udp" rides along here deliberately: over a quiet loopback with the
+	// service's generous round deadline the best-effort transport loses
+	// nothing, so the realized run equals the scheduled run and even the
+	// lossy transport must reproduce the decisions bit for bit.
+	for _, kind := range []string{"tcp", "udp"} {
+		alt := spec
+		alt.Transport = kind
+		sess := waitDone(t, s, s.Submit([]SessionSpec{alt})[0].ID)
+		if sess.Status != "done" {
+			t.Fatalf("%s replay failed: %s", kind, sess.Error)
+		}
+		results = append(results, sess.Result)
 	}
-	results = append(results, sess.Result)
 	for i := 1; i < len(results); i++ {
 		if fmt.Sprint(results[i].Decisions) != fmt.Sprint(results[0].Decisions) ||
 			results[i].Rounds != results[0].Rounds {

@@ -55,3 +55,57 @@ func TestInProcSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state round allocates %.1f times, want 0", avg)
 	}
 }
+
+// TestUDPSteadyStateAllocs pins the same claim on the datagram path:
+// once the frame scratch, batch arrays, reassembly slots, and refBuf
+// pool are warm, a full round over real UDP sockets allocates nothing —
+// and because AllocsPerRun counts mallocs across all goroutines, the
+// pin covers the writer loops and batch readers too, not just the
+// endpoint-facing calls.
+func TestUDPSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector; alloc counts are not deterministic")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	const n = 2
+	tr, err := NewUDPMeshLoopback(n, n, nil, udpTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		ep, err := tr.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	payload := []byte("steady-state payload")
+	bufs := make([][][]byte, n)
+	r := 0
+	round := func() {
+		r++
+		for _, ep := range eps {
+			if err := ep.Broadcast(r, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, ep := range eps {
+			recv, err := ep.Gather(r, bufs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs[i] = recv
+		}
+	}
+	// Warm everything past the ring window: pools, batch arrays, frame
+	// and reassembly scratch all reach their steady capacity.
+	for i := 0; i < 4*window; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(100, round); avg != 0 {
+		t.Fatalf("steady-state round allocates %.1f times, want 0", avg)
+	}
+}

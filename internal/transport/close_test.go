@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"runtime"
 	"testing"
 	"time"
@@ -77,10 +78,92 @@ func TestTCPCloseWithoutTrafficLeaksNoGoroutines(t *testing.T) {
 	})
 }
 
+// TestUDPCloseLeaksNoGoroutines drives UDP meshes (fully distributed
+// and grouped) through several rounds and requires every writer loop
+// and batch reader to unwind on Close.
+func TestUDPCloseLeaksNoGoroutines(t *testing.T) {
+	for _, nodes := range []int{4, 2} {
+		leakCheck(t, func() {
+			tr, err := NewUDPMeshLoopback(4, nodes, nil, udpTestOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveRun(t, tr, 5)
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestUDPCloseWithoutTrafficLeaksNoGoroutines closes a freshly built
+// mesh whose sockets never carried a datagram: readers are parked on
+// the netpoller and writer loops in their cond wait, and Close must
+// unwind both.
+func TestUDPCloseWithoutTrafficLeaksNoGoroutines(t *testing.T) {
+	leakCheck(t, func() {
+		tr, err := NewUDPMeshLoopback(6, 3, nil, udpTestOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestUDPCloseDuringInFlightGather closes the mesh while a Gather is
+// parked mid-round on the lossy mailbox's timer/arrival select — with a
+// deliberately enormous round deadline, so only Close can release it —
+// and requires ErrClosed promptly, with no goroutine left behind, and a
+// second Close (from the endpoint side and the transport side) to stay
+// a no-op.
+func TestUDPCloseDuringInFlightGather(t *testing.T) {
+	leakCheck(t, func() {
+		opts := UDPOpts{RoundTimeout: time.Hour, Grace: time.Hour}
+		tr, err := NewUDPMeshLoopback(3, 3, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := tr.Endpoint(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.Broadcast(1, []byte("only sender")); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			// Blocks: endpoints 1 and 2 never broadcast, and the
+			// hour-long deadline means only Close can end the round.
+			_, err := ep.Gather(1, nil)
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("in-flight Gather returned %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Gather still blocked after transport close")
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("double close: %v", err)
+		}
+		if err := ep.Close(); err != nil {
+			t.Fatalf("endpoint close after transport close: %v", err)
+		}
+	})
+}
+
 // TestCloseIsIdempotent closes transports and endpoints repeatedly, in
 // every order, and requires every call to succeed without panicking or
-// deadlocking. Endpoint Close shares the transport's lifetime on both
-// implementations, so endpoint-then-transport and transport-then-
+// deadlocking. Endpoint Close shares the transport's lifetime on every
+// implementation, so endpoint-then-transport and transport-then-
 // endpoint must both be safe.
 func TestCloseIsIdempotent(t *testing.T) {
 	builds := []struct {
@@ -90,6 +173,8 @@ func TestCloseIsIdempotent(t *testing.T) {
 		{"inproc", func() (Transport, error) { return NewInProc(3, nil), nil }},
 		{"tcp", func() (Transport, error) { return NewTCPLoopback(3, nil) }},
 		{"tcp-nodes2", func() (Transport, error) { return NewTCPMeshLoopback(3, 2, nil) }},
+		{"udp", func() (Transport, error) { return NewUDPMeshLoopback(3, 3, nil, udpTestOpts()) }},
+		{"udp-nodes2", func() (Transport, error) { return NewUDPMeshLoopback(3, 2, nil, udpTestOpts()) }},
 	}
 	for _, b := range builds {
 		t.Run(b.name, func(t *testing.T) {

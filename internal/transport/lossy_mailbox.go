@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// lossyBuffer is the receive mailbox of a best-effort transport. It
+// keeps roundBuffer's shape — a fixed ring of `window` round slots, one
+// delivery per sender — but inverts its failure philosophy: where the
+// reliable mailbox treats a missing or out-of-window frame as a protocol
+// violation, the lossy mailbox treats absence as the network dropping a
+// datagram. Concretely:
+//
+//   - Deposits outside the window, duplicates, and frames for rounds
+//     already gathered are silently ignored (their buffer reference is
+//     released): they are late or replayed datagrams, not bugs.
+//   - await does not wait forever for the n-th sender. A round closes
+//     when every sender is accounted for, or after a deadline followed
+//     by grace extensions: once the deadline fires, the round gets one
+//     grace window per burst of new arrivals, and closes the first time
+//     a grace window passes with no progress. Senders still missing at
+//     closure are recorded as nil payloads — to the process above, real
+//     loss is indistinguishable from an injected-drop tombstone.
+//
+// Injected drops (Policy tombstones carried in the frame bitmap) still
+// arrive as explicit nil deposits, so a round whose losses are all
+// injected closes immediately — the deadline only pays for datagrams
+// the network genuinely lost.
+//
+// Wake-ups use a 1-buffered pulse channel instead of roundBuffer's
+// condition variable so await can select between arrivals and its
+// round timer without polling. Deposits pulse only when they complete
+// the awaited round: a partial arrival changes nothing a parked await
+// could act on (the deadline+grace rule samples progress at timer
+// fires, not at arrivals), and the skipped wake-park cycles are a
+// measurable share of a fast round's budget.
+type lossyBuffer struct {
+	mu sync.Mutex
+	n  int
+
+	gathered int // highest round already handed to the process
+	released int // highest round whose buffers were recycled
+	awaiting int // round a parked await is blocked on (0 = none)
+	count    [window]int
+	slots    [window][]slot
+
+	ready chan struct{} // pulsed on every accepted deposit and state change
+	timer *time.Timer   // round-closure timer, owned by the awaiting process
+
+	err    error
+	closed bool
+}
+
+func newLossyBuffer(n int) *lossyBuffer {
+	b := &lossyBuffer{
+		n:     n,
+		ready: make(chan struct{}, 1),
+		timer: time.NewTimer(time.Hour),
+	}
+	b.timer.Stop()
+	for i := range b.slots {
+		b.slots[i] = make([]slot, n)
+	}
+	return b
+}
+
+// pulseLocked nudges a parked await; a pulse already pending is enough.
+func (b *lossyBuffer) pulseLocked() {
+	select {
+	case b.ready <- struct{}{}:
+	default:
+	}
+}
+
+// deposit delivers sender from's round-r frame (payload nil = drop
+// tombstone). It never blocks. Late, duplicate, and out-of-window
+// deliveries are dropped on the floor — on a datagram transport they
+// are reordered or replayed packets, and absence is handled by await's
+// closure rule anyway. buf, when non-nil, carries this receiver's
+// reference and is released here if the deposit is ignored.
+func (b *lossyBuffer) deposit(from, r int, payload []byte, buf *refBuf) {
+	b.mu.Lock()
+	if b.closed || b.err != nil {
+		// Teardown: abandon the buffer to the GC (see roundBuffer.close).
+		b.mu.Unlock()
+		return
+	}
+	if r <= b.released || r > b.released+window {
+		b.mu.Unlock()
+		if buf != nil {
+			buf.release()
+		}
+		return
+	}
+	s := &b.slots[r%window][from]
+	if s.present {
+		b.mu.Unlock()
+		if buf != nil {
+			buf.release()
+		}
+		return
+	}
+	s.payload, s.buf, s.present = payload, buf, true
+	b.count[r%window]++
+	if r == b.awaiting && b.count[r%window] == b.n {
+		b.pulseLocked()
+	}
+	b.mu.Unlock()
+}
+
+// closeRoundLocked seals round r: every sender still missing becomes a
+// nil payload — absence is the drop signal.
+func (b *lossyBuffer) closeRoundLocked(r int) {
+	ss := b.slots[r%window]
+	for i := range ss {
+		if !ss[i].present {
+			ss[i] = slot{present: true}
+		}
+	}
+	b.count[r%window] = b.n
+}
+
+// await blocks until round r closes — all n senders accounted for, or
+// the deadline+grace rule gives up on the missing ones — and fills
+// `into` with the payload views (nil entries for drops, injected or
+// real). Rounds must be awaited in order; round r-1's buffers are
+// recycled on entry.
+func (b *lossyBuffer) await(r int, into [][]byte, deadline, grace time.Duration) ([][]byte, error) {
+	if cap(into) < b.n {
+		into = make([][]byte, b.n)
+	}
+	into = into[:b.n]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r != b.gathered+1 {
+		err := fmt.Errorf("transport: Gather(%d) after round %d (rounds must be gathered in order)", r, b.gathered)
+		b.failLocked(err)
+		return nil, err
+	}
+	b.releaseUpToLocked(r - 1)
+	idx := r % window
+	if b.count[idx] < b.n && b.err == nil && !b.closed {
+		b.awaiting = r
+		b.timer.Reset(deadline)
+		inGrace := false
+		seen := b.count[idx]
+		for b.count[idx] < b.n && b.err == nil && !b.closed {
+			b.mu.Unlock()
+			select {
+			case <-b.ready:
+				b.mu.Lock()
+			case <-b.timer.C:
+				b.mu.Lock()
+				if b.count[idx] >= b.n || b.err != nil || b.closed {
+					continue
+				}
+				if inGrace && b.count[idx] == seen {
+					b.closeRoundLocked(r)
+					continue
+				}
+				inGrace = true
+				seen = b.count[idx]
+				b.timer.Reset(grace)
+			}
+		}
+		b.awaiting = 0
+		b.timer.Stop()
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.gathered = r
+	for q, s := range b.slots[idx] {
+		into[q] = s.payload
+	}
+	return into, nil
+}
+
+// releaseUpToLocked recycles every round up to and including r.
+func (b *lossyBuffer) releaseUpToLocked(r int) {
+	for rr := b.released + 1; rr <= r; rr++ {
+		ss := b.slots[rr%window]
+		for i := range ss {
+			if ss[i].buf != nil {
+				ss[i].buf.release()
+			}
+			ss[i] = slot{}
+		}
+		b.count[rr%window] = 0
+	}
+	if r > b.released {
+		b.released = r
+	}
+}
+
+// fail poisons the mailbox: the pending and all future awaits return
+// err.
+func (b *lossyBuffer) fail(err error) {
+	b.mu.Lock()
+	b.failLocked(err)
+	b.mu.Unlock()
+}
+
+func (b *lossyBuffer) failLocked(err error) {
+	if b.err == nil && !b.closed {
+		b.err = err
+		b.pulseLocked()
+	}
+}
+
+// close wakes any parked await with ErrClosed. In-flight buffers are
+// abandoned to the GC, for the same reason as roundBuffer.close.
+func (b *lossyBuffer) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.pulseLocked()
+	}
+	b.mu.Unlock()
+}

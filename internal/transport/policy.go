@@ -94,6 +94,23 @@ func (j Jitter) Delay(r, from, to int) time.Duration {
 	return base + time.Duration(h%uint64(j.Max))
 }
 
+// FrameLoss returns a DropDatagram hook (see UDPOpts) that loses each
+// round frame i.i.d. with probability p, deterministically from seed.
+// All fragments of a frame share the verdict: a partially-arrived frame
+// never completes reassembly anyway, so frame-level loss is what a
+// receiver observes either way, and keeping the decision per-frame makes
+// the realized heard-sets a pure function of (seed, round, link).
+// Returns nil (no injected loss) when p <= 0.
+func FrameLoss(p float64, seed int64) func(r, from, to, frag int) bool {
+	if p <= 0 {
+		return nil
+	}
+	return func(r, from, to, frag int) bool {
+		h := mix64(uint64(seed) ^ uint64(r)*0x9e3779b97f4a7c15 ^ uint64(from)<<32 ^ uint64(to)<<16 ^ 0xd1b54a32d192ed03)
+		return float64(h>>11)/(1<<53) < p
+	}
+}
+
 // mix64 is the splitmix64 finalizer — the same mixer sim.CellSeed uses
 // for per-cell determinism, here giving per-(round, link) determinism.
 func mix64(x uint64) uint64 {

@@ -3,7 +3,7 @@
 // broadcast payload per process per round and reassemble, on the receive
 // side, the per-round message vector the round model prescribes.
 //
-// Two production implementations exist:
+// Three production implementations exist:
 //
 //   - InProc — per-receiver mailboxes (roundBuffer) with direct
 //     deposits, zero goroutines and zero OS involvement; the transport
@@ -13,13 +13,23 @@
 //     between the two nodes as a single coalesced v2 frame (per-round
 //     header, drop bitmap, each sender's payload once), with one writer
 //     event loop and one reader goroutine per stream on each node.
+//   - UDPMesh — best-effort datagrams (udp.go): the same coalesced
+//     frames packed into MTU-sized datagrams (fragmenting large frames
+//     across numbered datagrams), batched through sendmmsg/recvmmsg on
+//     Linux, with round closure by deadline + grace instead of by
+//     tombstone: a datagram the network loses simply never arrives, and
+//     the receiver records the absence as a nil delivery — exactly the
+//     heard-set semantics the paper's round model assigns to a lossy
+//     link. The algorithm tolerates arbitrary loss given a stable
+//     skeleton, so nothing is retransmitted.
 //
-// Both share the mailbox receive path (mailbox.go): senders deposit
-// into per-receiver round slots backed by pooled reference-counted
-// buffers, so the steady-state round allocates nothing and a receiver
-// wakes exactly once per round.
+// All three share the mailbox receive path (mailbox.go, and its
+// loss-tolerant variant lossy_mailbox.go): senders deposit into
+// per-receiver round slots backed by pooled reference-counted buffers,
+// so the steady-state round allocates nothing and a receiver wakes
+// exactly once per round.
 //
-// Both are driven by a Policy, the per-link fault injector: drops are
+// All are driven by a Policy, the per-link fault injector: drops are
 // applied at the sending endpoint (a dropped payload never crosses the
 // wire; a header-only tombstone frame still closes the round), delays at
 // the receiving endpoint. Because every adversary schedule from
@@ -32,11 +42,15 @@
 //
 // Every process calls Broadcast exactly once per round r = 1, 2, ...,
 // then Gather(r) exactly once; rounds are communication-closed. The
-// contract both implementations satisfy:
+// contract every implementation satisfies:
 //
 //  1. Per-link FIFO: frames from p arrive at q in send order.
 //  2. Round closure: Gather(r) returns only after a round-r frame from
-//     every process (possibly a drop tombstone) has arrived.
+//     every process (possibly a drop tombstone) has arrived. On the
+//     best-effort UDP mesh a frame may be lost outright, so closure is
+//     additionally bounded by a per-round deadline plus grace windows:
+//     senders still missing when the deadline expires are recorded as
+//     nil deliveries, the same observable outcome as a Policy drop.
 //  3. Bounded lookahead: a sender is never more than a constant number of
 //     rounds ahead of any receiver (the runtime's pipelined control
 //     barrier bounds it at one round past the lowest un-gathered round),

@@ -1,0 +1,36 @@
+package transport
+
+// The batch send path stages a whole round's datagrams — every fragment
+// of every peer's frame — in one flat buffer, then ships them in as few
+// syscalls as the platform allows: sendmmsg/recvmmsg on Linux
+// (udp_batch_linux.go), plain per-datagram reads and writes elsewhere
+// (udp_batch_fallback.go). The staging queue is shared; only the flush
+// and receive mechanics are platform code. Both buffers reach a steady
+// capacity after the first rounds, so the batch layer does not allocate
+// in steady state.
+
+// pktRef locates one staged datagram: flat[start:end], destined for
+// peer node dst.
+type pktRef struct {
+	start, end, dst int
+}
+
+// udpSendQueue stages datagrams between queue and flush.
+type udpSendQueue struct {
+	flat []byte
+	pkts []pktRef
+}
+
+// queue appends one datagram (header + fragment) to the batch.
+func (q *udpSendQueue) queue(dst int, hdr udpHeader, frag []byte) {
+	start := len(q.flat)
+	q.flat = appendUDPHeader(q.flat, hdr)
+	q.flat = append(q.flat, frag...)
+	q.pkts = append(q.pkts, pktRef{start: start, end: len(q.flat), dst: dst})
+}
+
+// reset empties the batch, keeping capacity.
+func (q *udpSendQueue) reset() {
+	q.flat = q.flat[:0]
+	q.pkts = q.pkts[:0]
+}

@@ -1,0 +1,6 @@
+package transport
+
+// sendmmsg on linux/amd64. The syscall package's amd64 table predates
+// the call (it has recvmmsg but not sendmmsg), so the number is pinned
+// here from the kernel's syscall_64.tbl.
+const sysSendmmsg = 307

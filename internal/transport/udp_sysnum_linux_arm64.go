@@ -1,0 +1,6 @@
+package transport
+
+// sendmmsg on linux/arm64 (the generic unistd.h number, matching
+// syscall.SYS_SENDMMSG there; pinned as a literal so both sysnum files
+// read the same way).
+const sysSendmmsg = 269
