@@ -8,7 +8,7 @@
 // Usage:
 //
 //	ksetd [-addr 127.0.0.1:8347] [-workers 8] [-queue 256] [-maxn 128] [-retain 4096]
-//	      [-pprof 127.0.0.1:6060]
+//	      [-session-timeout 0] [-pprof 127.0.0.1:6060]
 //
 // -pprof serves net/http/pprof on a separate listener (off by default;
 // profiling is never exposed on the API address).
@@ -21,8 +21,14 @@
 //	GET  /healthz              liveness
 //	GET  /metrics              Prometheus text format
 //
+// -session-timeout arms a per-session watchdog: a session still running
+// at the deadline is declared crashed — its transport is torn down and
+// the partial outcome observed so far stays pollable under status
+// "crashed" (ksetd_sessions_crashed_total counts them).
+//
 // ksetd shuts down gracefully on SIGINT/SIGTERM: the HTTP server drains,
-// running sessions finish, queued ones are failed with a shutdown error.
+// running sessions finish (crashed in-flight sessions flush their
+// partial outcomes), queued ones are failed with a shutdown error.
 // Drive it with cmd/ksetload (the CI gauntlet boots ksetd and pushes 100
 // concurrent sessions through this API over TCP).
 package main
@@ -64,6 +70,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 256, "bounded queue of accepted sessions (backpressure beyond it)")
 	maxn := fs.Int("maxn", 128, "largest per-session process count accepted")
 	retain := fs.Int("retain", 4096, "finished sessions kept for polling before eviction")
+	sessionTimeout := fs.Duration("session-timeout", 0, "per-session watchdog deadline; a session running longer is crashed with partial results (0 disables)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +84,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Queue:   *queue,
 		MaxN:    *maxn,
 		Retain:  *retain,
+
+		SessionTimeout: *sessionTimeout,
 	})
 	defer svc.Close()
 

@@ -21,12 +21,25 @@
 // TCP and UDP runs take -nodes to group the n processes onto fewer mesh
 // nodes (coalesced frames; 0 = one node per process). UDP runs take
 // -loss to additionally lose that fraction of frames i.i.d. on the wire
-// (deterministic from -seed); the algorithm tolerates the loss, so the
-// run still completes — slower, since lossy rounds close by deadline.
-// -floor FAILS the run if the measured median falls below the given
-// rounds/sec — the CI throughput smoke uses it as a regression
-// tripwire. -cpuprofile writes a pprof CPU profile covering the
-// measured trials.
+// (deterministic from -seed), or -loss-model ge with -burst/-gap for
+// Gilbert–Elliott bursty loss at rate burst/(burst+gap); the algorithm
+// tolerates the loss, so the run still completes — slower, since lossy
+// rounds close by deadline. -floor FAILS the run if the measured median
+// falls below the given rounds/sec — the CI throughput smoke uses it as
+// a regression tripwire. -cpuprofile writes a pprof CPU profile
+// covering the measured trials.
+//
+// Chaos mode measures graceful degradation under real process crashes
+// (EXPERIMENTS.md §E22): for each crash count 0..-crashes it runs
+// -trials seeded chaos scenarios through internal/chaos — live run,
+// injected deaths, replay verification — and reports rounds/sec,
+// realized loss, and the agreement outcome per row:
+//
+//	ksetload -mode chaos -transport inproc|tcp|udp -n 8 -crashes 2 -trials 3
+//
+// Every scenario must pass the crash-replay differential and the
+// agreement bound; -min-frac additionally FAILS the run unless every
+// crashed row sustains that fraction of the 0-crash throughput.
 package main
 
 import (
@@ -46,9 +59,11 @@ import (
 	"time"
 
 	"kset/internal/adversary"
+	"kset/internal/chaos"
 	"kset/internal/runtime"
 	"kset/internal/service"
 	"kset/internal/sim"
+	ktransport "kset/internal/transport"
 )
 
 func main() {
@@ -62,7 +77,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ksetload", flag.ContinueOnError)
 	fs.SetOutput(stdout)
-	mode := fs.String("mode", "service", "service (drive a ksetd) or runtime (rounds/sec measurement)")
+	mode := fs.String("mode", "service", "service (drive a ksetd), runtime (rounds/sec measurement), or chaos (crash-fault degradation)")
 	// Service mode.
 	addr := fs.String("addr", "http://127.0.0.1:8347", "base URL of the ksetd under test")
 	sessions := fs.Int("sessions", 100, "total sessions to submit")
@@ -78,8 +93,13 @@ func run(args []string, stdout io.Writer) error {
 	trials := fs.Int("trials", 3, "runtime mode: trials (median reported)")
 	nodes := fs.Int("nodes", 0, "runtime mode, tcp/udp: mesh nodes to group processes onto (0 = one per process)")
 	loss := fs.Float64("loss", 0, "runtime mode, udp: i.i.d. frame loss probability injected on the wire")
+	lossModel := fs.String("loss-model", "iid", "runtime mode, udp: iid (each frame independently, -loss) or ge (Gilbert-Elliott bursts, -burst/-gap)")
+	burst := fs.Float64("burst", 4, "runtime mode, udp, -loss-model ge: mean burst length in rounds (lossy state)")
+	gap := fs.Float64("gap", 36, "runtime mode, udp, -loss-model ge: mean gap length in rounds (clean state)")
 	floor := fs.Float64("floor", 0, "runtime mode: fail unless median rounds/sec reaches this floor (0 = no check)")
 	cpuprofile := fs.String("cpuprofile", "", "runtime mode: write a CPU profile of the measured trials to this file")
+	crashes := fs.Int("crashes", 2, "chaos mode: maximum injected crashes (rows run 0..crashes)")
+	minFrac := fs.Float64("min-frac", 0, "chaos mode: fail unless every crashed row sustains this fraction of the 0-crash throughput (0 = no check)")
 	asJSON := fs.Bool("json", false, "emit a JSON summary instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,7 +113,13 @@ func run(args []string, stdout io.Writer) error {
 	case "runtime":
 		return runRuntime(stdout, runtimeParams{
 			transport: *transport, n: *n, rounds: *rounds, trials: *trials,
-			nodes: *nodes, loss: *loss, seed: *seed, floor: *floor, cpuprofile: *cpuprofile, asJSON: *asJSON,
+			nodes: *nodes, loss: *loss, lossModel: *lossModel, burst: *burst, gap: *gap,
+			seed: *seed, floor: *floor, cpuprofile: *cpuprofile, asJSON: *asJSON,
+		})
+	case "chaos":
+		return runChaos(stdout, chaosParams{
+			transport: *transport, n: *n, crashes: *crashes, trials: *trials,
+			seed: *seed, minFrac: *minFrac, asJSON: *asJSON,
 		})
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
@@ -331,6 +357,8 @@ type runtimeParams struct {
 	trials     int
 	nodes      int
 	loss       float64
+	lossModel  string
+	burst, gap float64
 	seed       int64
 	floor      float64
 	cpuprofile string
@@ -346,6 +374,18 @@ func runRuntime(stdout io.Writer, p runtimeParams) error {
 	}
 	if p.loss != 0 && p.transport != "udp" {
 		return fmt.Errorf("-loss only applies to -transport udp")
+	}
+	switch p.lossModel {
+	case "", "iid":
+	case "ge":
+		if p.transport != "udp" {
+			return fmt.Errorf("-loss-model ge only applies to -transport udp")
+		}
+		if p.loss != 0 {
+			return fmt.Errorf("-loss-model ge sets its own rate (burst/(burst+gap)); drop -loss")
+		}
+	default:
+		return fmt.Errorf("unknown -loss-model %q (want iid or ge)", p.lossModel)
 	}
 	if p.cpuprofile != "" {
 		f, err := os.Create(p.cpuprofile)
@@ -375,9 +415,19 @@ func runRuntime(stdout io.Writer, p runtimeParams) error {
 		case "tcp":
 			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{Kind: "tcp", Nodes: p.nodes})
 		case "udp":
-			spec.Runner = runtime.NewRunner(runtime.RunnerOpts{
+			ropts := runtime.RunnerOpts{
 				Kind: "udp", Nodes: p.nodes, Loss: p.loss, LossSeed: p.seed,
-			})
+			}
+			if p.lossModel == "ge" {
+				// Bursty loss: the Gilbert-Elliott walk drops whole
+				// per-link frame runs instead of i.i.d. singles.
+				drop, err := ktransport.GEFrameLoss(p.burst, p.gap, p.seed)
+				if err != nil {
+					return err
+				}
+				ropts.UDP.DropDatagram = drop
+			}
+			spec.Runner = runtime.NewRunner(ropts)
 		default:
 			return fmt.Errorf("unknown transport %q (want inproc, tcp, udp, or sim)", p.transport)
 		}
@@ -412,6 +462,121 @@ func runRuntime(stdout io.Writer, p runtimeParams) error {
 	}
 	if p.floor > 0 && sum.RoundsPerSec < p.floor {
 		return fmt.Errorf("throughput %.0f rounds/sec below floor %.0f", sum.RoundsPerSec, p.floor)
+	}
+	return nil
+}
+
+// chaosRow is one crash count's measurement in the -mode chaos sweep.
+type chaosRow struct {
+	Crashes      int     `json:"crashes"`
+	Rounds       int     `json:"rounds"`
+	Seconds      float64 `json:"seconds_median"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	LostLinks    int     `json:"lost_links"`
+	Distinct     int     `json:"distinct"`
+	MinK         int     `json:"min_k"`
+}
+
+// chaosSummary is the -json output of chaos mode.
+type chaosSummary struct {
+	Transport string     `json:"transport"`
+	N         int        `json:"n"`
+	Trials    int        `json:"trials"`
+	MinFrac   float64    `json:"min_frac,omitempty"`
+	Rows      []chaosRow `json:"rows"`
+}
+
+// chaosParams bundles the chaos-mode flags.
+type chaosParams struct {
+	transport string
+	n         int
+	crashes   int
+	trials    int
+	seed      int64
+	minFrac   float64
+	asJSON    bool
+}
+
+// runChaos measures graceful degradation under real process crashes:
+// for each crash count 0..crashes it runs `trials` seeded chaos
+// scenarios over the chosen transport, requires every live run to
+// verify bit-for-bit against its lockstep replay (internal/chaos), and
+// reports the median round throughput per row. -min-frac turns the
+// degradation curve into a pass/fail check against the 0-crash row.
+func runChaos(stdout io.Writer, p chaosParams) error {
+	if p.n < 2 || p.trials < 1 {
+		return fmt.Errorf("need -n >= 2 and positive -trials")
+	}
+	if p.crashes < 0 || p.crashes >= p.n {
+		return fmt.Errorf("-crashes %d out of range [0,%d] (the harness needs a survivor)", p.crashes, p.n-1)
+	}
+	switch p.transport {
+	case "inproc", "tcp", "udp":
+	default:
+		return fmt.Errorf("unknown transport %q (chaos mode runs inproc, tcp, or udp)", p.transport)
+	}
+	sum := chaosSummary{Transport: p.transport, N: p.n, Trials: p.trials, MinFrac: p.minFrac}
+	for c := 0; c <= p.crashes; c++ {
+		var secs []float64
+		var last *runtime.CrashReplayReport
+		rounds := 0
+		lost := 0
+		for trial := 0; trial < p.trials; trial++ {
+			cfg := chaos.BatteryConfig{
+				Name:    fmt.Sprintf("%s-n%d-c%d-t%d", p.transport, p.n, c, trial),
+				Kind:    p.transport,
+				N:       p.n,
+				Crashes: c,
+				Seed:    p.seed + int64(trial),
+			}
+			start := time.Now()
+			rep, err := chaos.Run(cfg, "")
+			if err != nil {
+				return fmt.Errorf("chaos %s: replay verification failed: %w", cfg.Name, err)
+			}
+			if !rep.KBound {
+				return fmt.Errorf("chaos %s: %d distinct decisions exceed realized MinK %d",
+					cfg.Name, rep.Distinct, rep.Replay.MinK)
+			}
+			secs = append(secs, time.Since(start).Seconds())
+			rounds += rep.Live.Rounds
+			lost += rep.LostLinks
+			last = rep
+		}
+		sort.Float64s(secs)
+		med := secs[len(secs)/2]
+		row := chaosRow{
+			Crashes:      c,
+			Rounds:       rounds / p.trials,
+			Seconds:      med,
+			RoundsPerSec: float64(rounds/p.trials) / med,
+			LostLinks:    lost,
+			Distinct:     last.Distinct,
+			MinK:         last.Replay.MinK,
+		}
+		sum.Rows = append(sum.Rows, row)
+		if !p.asJSON {
+			fmt.Fprintf(stdout, "chaos %s: n=%d crashes=%d median %.3fs (%d rounds, %.0f rounds/sec, %d lost links) replay OK\n",
+				p.transport, p.n, c, row.Seconds, row.Rounds, row.RoundsPerSec, row.LostLinks)
+		}
+	}
+	if p.asJSON {
+		if err := json.NewEncoder(stdout).Encode(sum); err != nil {
+			return err
+		}
+	}
+	if p.minFrac > 0 {
+		base := sum.Rows[0].RoundsPerSec
+		for _, row := range sum.Rows[1:] {
+			if row.RoundsPerSec < p.minFrac*base {
+				return fmt.Errorf("chaos: %d-crash throughput %.0f rounds/sec below %.0f%% of the 0-crash %.0f",
+					row.Crashes, row.RoundsPerSec, 100*p.minFrac, base)
+			}
+		}
+		if !p.asJSON {
+			fmt.Fprintf(stdout, "chaos degradation PASS: every crashed row sustains >= %.0f%% of %.0f rounds/sec\n",
+				100*p.minFrac, sum.Rows[0].RoundsPerSec)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,251 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kset/internal/adversary"
+	"kset/internal/graph"
+	"kset/internal/rounds"
+	"kset/internal/runfile"
+	"kset/internal/sim"
+	"kset/internal/transport"
+)
+
+// CrashReplayOpts configures one crash-fault differential replay.
+type CrashReplayOpts struct {
+	// Kind selects the live transport: "inproc" (default), "tcp", "udp".
+	Kind string
+	// Nodes groups the processes onto this many mesh nodes (0 = one per
+	// process). Silent crash plans require one process per node.
+	Nodes int
+	// UDP configures the datagram mesh; the Meter field is owned by
+	// CrashReplay and must be nil.
+	UDP transport.UDPOpts
+	// TCP tunes the TCP mesh; with a silent crash plan its Stall knobs
+	// must enable chaos mode or the run will wedge on the dead peer.
+	TCP transport.TCPOpts
+	// Loss adds i.i.d. frame loss on the UDP mesh (see RunnerOpts.Loss),
+	// composing real loss under the injected crashes.
+	Loss     float64
+	LossSeed int64
+	// Stall optionally delays surviving senders (see StallPlan).
+	Stall *StallPlan
+	// Codec encodes the algorithm's messages; nil means WireCodec.
+	Codec Codec
+	// ArtifactDir, when non-empty, receives a .ksr runfile of the
+	// realized graphs whenever the replay diverges from the live run, so
+	// the divergence can be re-executed standalone.
+	ArtifactDir string
+}
+
+// CrashReplayReport is the evidence one crash replay produced.
+type CrashReplayReport struct {
+	// Live is the outcome of the chaos run over the real transport.
+	Live *sim.Outcome
+	// Replay is the lockstep simulator's outcome on the realized
+	// heard-sets — verified identical to Live for every surviving
+	// process and every pre-crash decision.
+	Replay *sim.Outcome
+	// Realized holds the per-round heard-set graphs the survivors
+	// actually gathered, self-loops restored for the dead (the paper's
+	// internally-correct crashed node).
+	Realized []*graph.Digraph
+	// LostLinks counts scheduled deliveries the wire lost beyond the
+	// crash cut (0 on reliable transports).
+	LostLinks int
+	// Crashed is the number of processes the plan killed.
+	Crashed int
+	// Distinct is the number of distinct values decided in the live run
+	// (pre-crash decisions of the dead included: a decision is
+	// irrevocable even when its process is not).
+	Distinct int
+	// KBound reports Distinct <= Replay.MinK — the paper's agreement
+	// bound evaluated against the realized skeleton, in which a crashed
+	// process is an isolated self-looped node and the bound degrades
+	// exactly as Theorem 1 prescribes.
+	KBound bool
+	// Artifact is the path of the divergence runfile, when one was
+	// written.
+	Artifact string
+}
+
+// CrashReplay is the differential harness for crash faults, the
+// crash-layer analogue of LossReplay: it proves that a distributed run
+// with real process deaths — goroutines gone mid-protocol, streams cut,
+// rounds closed by deadline — is still bit-for-bit an execution of the
+// paper's round model on the communication pattern the crashes carved
+// out.
+//
+//  1. Run spec live under plan over a metered transport: processes die
+//     at their planned rounds and sites, and the meter records exactly
+//     which deliveries the survivors gathered.
+//  2. Check containment: realized heard-sets never exceed the schedule
+//     restricted by the crash cut — a dead process sends nothing it
+//     was not entitled to, and nobody hears the dead.
+//  3. Replay the realized graphs (self-loops restored) through the
+//     lockstep simulator. Every surviving process's decision bit,
+//     value, and round must match the live run exactly; a crashed
+//     process that decided before dying must match too (decisions are
+//     irrevocable). Crashed-undecided processes are exempt: their
+//     replay twins outlive them.
+//  4. Evaluate the paper's agreement bound on the realized run:
+//     distinct live decisions against the replay's MinK.
+//
+// On any divergence the realized graphs are written to ArtifactDir as a
+// .ksr runfile (when set) and the error names the path.
+func CrashReplay(spec sim.Spec, plan *CrashPlan, opts CrashReplayOpts) (*CrashReplayReport, error) {
+	if spec.Adversary == nil {
+		return nil, fmt.Errorf("runtime: CrashReplay with nil adversary")
+	}
+	if opts.UDP.Meter != nil {
+		return nil, fmt.Errorf("runtime: CrashReplay owns the heard meter; UDP.Meter must be nil")
+	}
+	n := spec.Adversary.N()
+	if err := plan.validate(n); err != nil {
+		return nil, err
+	}
+	if plan.Crashes() >= n {
+		return nil, fmt.Errorf("runtime: crash plan kills all %d processes; need a survivor to meter the run", n)
+	}
+	maxRounds := spec.MaxRounds
+	if maxRounds == 0 {
+		if s, ok := spec.Adversary.(rounds.Stabilizer); ok {
+			maxRounds = s.StabilizationRound() + 2*n + 5
+		} else {
+			maxRounds = 12 * n
+		}
+	}
+	sched := adversary.MaterializeRun(spec.Adversary, maxRounds)
+	spec.Adversary = sched
+	spec.MaxRounds = maxRounds
+
+	meter := transport.NewHeardMeter(n)
+	live := spec
+	live.Runner = NewRunner(RunnerOpts{
+		Kind:     opts.Kind,
+		Nodes:    opts.Nodes,
+		UDP:      opts.UDP,
+		TCPOpts:  opts.TCP,
+		Loss:     opts.Loss,
+		LossSeed: opts.LossSeed,
+		Codec:    opts.Codec,
+		Crash:    plan,
+		Stall:    opts.Stall,
+		Meter:    meter,
+	})
+	liveOut, err := sim.Execute(live)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: CrashReplay live execution: %w", err)
+	}
+	realized := meter.Graphs()
+	if len(realized) != liveOut.Rounds {
+		return nil, fmt.Errorf("runtime: meter recorded %d rounds, live run executed %d", len(realized), liveOut.Rounds)
+	}
+	if liveOut.Rounds < 1 {
+		return nil, fmt.Errorf("runtime: live run executed no rounds")
+	}
+
+	// Containment under the crash cut. A receiver that is dead (or dying
+	// this round — a crashing process never gathers its crash round)
+	// records nothing, so only live gatherers are audited for loss.
+	lost := 0
+	for r := 1; r <= liveOut.Rounds; r++ {
+		g, want := realized[r-1], sched.Graph(r)
+		for q := 0; q < n; q++ {
+			gathering := plan == nil || plan.Round[q] == 0 || r < plan.Round[q]
+			for p := 0; p < n; p++ {
+				if !gathering {
+					if g.HasEdge(p, q) {
+						return nil, fmt.Errorf("runtime: round %d: dead p%d recorded a delivery from p%d", r, q+1, p+1)
+					}
+					continue
+				}
+				s := (want.HasEdge(p, q) || p == q) && plan.Sends(r, p, q)
+				switch got := g.HasEdge(p, q); {
+				case got && !s:
+					return nil, fmt.Errorf("runtime: round %d: wire delivered p%d->p%d through a cut link", r, p+1, q+1)
+				case s && !got:
+					lost++
+				}
+			}
+		}
+	}
+
+	// Restore the dead processes' self-loops: a crashed node stays
+	// internally correct in the paper's model (it hears itself), it just
+	// stopped recording. Every other edge of the dead stays absent, so
+	// the replay twin of a dead process runs on in isolation.
+	for _, g := range realized {
+		g.AddSelfLoops()
+	}
+
+	replay := spec
+	replay.Runner = nil
+	replay.Concurrent = false
+	replay.Adversary = adversary.NewRun(realized[:liveOut.Rounds-1], realized[liveOut.Rounds-1])
+	replay.MaxRounds = liveOut.Rounds
+	replayOut, err := sim.Execute(replay)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: CrashReplay reference execution: %w", err)
+	}
+
+	rep := &CrashReplayReport{
+		Live:     liveOut,
+		Replay:   replayOut,
+		Realized: realized,
+		Crashed:  plan.Crashes(),
+	}
+	diverge := func(format string, args ...any) error {
+		err := fmt.Errorf(format, args...)
+		if opts.ArtifactDir != "" {
+			if path, werr := writeDivergence(opts.ArtifactDir, realized, liveOut.Rounds); werr == nil {
+				rep.Artifact = path
+				err = fmt.Errorf("%w (realized graphs: %s)", err, path)
+			}
+		}
+		return err
+	}
+	if replayOut.Rounds != liveOut.Rounds {
+		return rep, diverge("runtime: replay executed %d rounds, live %d", replayOut.Rounds, liveOut.Rounds)
+	}
+	distinct := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		crashed := plan != nil && plan.Round[i] != 0
+		if crashed && !liveOut.Decided[i] {
+			continue // died undecided: its replay twin outlives it and may decide
+		}
+		if liveOut.Decided[i] != replayOut.Decided[i] {
+			return rep, diverge("runtime: p%d decided: live %v, replay %v", i+1, liveOut.Decided[i], replayOut.Decided[i])
+		}
+		if !liveOut.Decided[i] {
+			continue
+		}
+		if liveOut.Decisions[i] != replayOut.Decisions[i] {
+			return rep, diverge("runtime: p%d decision: live %d, replay %d", i+1, liveOut.Decisions[i], replayOut.Decisions[i])
+		}
+		if liveOut.DecideRounds[i] != replayOut.DecideRounds[i] {
+			return rep, diverge("runtime: p%d decision round: live %d, replay %d", i+1, liveOut.DecideRounds[i], replayOut.DecideRounds[i])
+		}
+		distinct[liveOut.Decisions[i]] = true
+	}
+	rep.Distinct = len(distinct)
+	rep.KBound = len(distinct) <= replayOut.MinK
+	return rep, nil
+}
+
+// writeDivergence persists the realized graphs as a replayable .ksr
+// runfile named by its content length, for standalone re-execution of a
+// diverging run.
+func writeDivergence(dir string, realized []*graph.Digraph, rounds int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	run := adversary.NewRun(realized[:rounds-1], realized[rounds-1])
+	path := filepath.Join(dir, fmt.Sprintf("crash-divergence-r%d.ksr", rounds))
+	if err := runfile.WriteFile(path, run); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -60,9 +60,10 @@ import (
 
 // report is one process's round-completion message to the controller.
 type report struct {
-	self  int
-	round int
-	err   error
+	self    int
+	round   int
+	crashed bool // the process executed its planned crash in this round
+	err     error
 }
 
 // Run executes cfg with one goroutine per process over the given
@@ -78,6 +79,21 @@ type report struct {
 // for concurrent Graph calls (adversary.MaterializeRun makes any
 // adversary so).
 func Run(cfg rounds.Config, tr transport.Transport, codec Codec) (*rounds.Result, error) {
+	return RunChaos(cfg, tr, codec, nil, nil)
+}
+
+// RunChaos is Run with fault injection: plan schedules process crashes
+// (site-exact, see CrashPlan), stall delays processes' sends without
+// killing them. Both may be nil; with both nil this IS Run.
+//
+// Crashed processes freeze at their pre-crash state (they appear in the
+// Result undecided or with their pre-crash decision, the paper's
+// internally-correct crashed node), the controller stops expecting their
+// reports, and — when cfg.StopWhen is set — the run additionally ends as
+// soon as every surviving process has decided, since waiting on the dead
+// is exactly the wedge this layer exists to remove. Fixed-length runs
+// (StopWhen == nil) still execute all MaxRounds with the survivors.
+func RunChaos(cfg rounds.Config, tr transport.Transport, codec Codec, plan *CrashPlan, stall *StallPlan) (*rounds.Result, error) {
 	defer tr.Close()
 	n, err := cfg.Validate()
 	if err != nil {
@@ -85,6 +101,12 @@ func Run(cfg rounds.Config, tr transport.Transport, codec Codec) (*rounds.Result
 	}
 	if tr.N() != n {
 		return nil, fmt.Errorf("runtime: transport has %d endpoints, adversary has %d processes", tr.N(), n)
+	}
+	if err := plan.validate(n); err != nil {
+		return nil, err
+	}
+	if err := stall.validate(n); err != nil {
+		return nil, err
 	}
 	if codec == nil {
 		codec = WireCodec{}
@@ -107,15 +129,17 @@ func Run(cfg rounds.Config, tr transport.Transport, codec Codec) (*rounds.Result
 	}
 
 	// Pipelining is exact only for fixed-length runs; see the package
-	// comment.
-	pipelined := cfg.StopWhen == nil
+	// comment. Chaos runs are never pipelined: a crash or stall makes the
+	// next round's send burst locally unpredictable.
+	pipelined := cfg.StopWhen == nil && plan == nil && stall == nil
 	share := newDecodeShare(n)
+	dm, _ := tr.(transport.DeadMarker)
 
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(self int, p rounds.Algorithm) {
 			defer wg.Done()
-			runProcess(self, n, cfg.MaxRounds, pipelined, p, tr, codec, share, reports, conts[self], stop)
+			runProcess(self, n, cfg.MaxRounds, pipelined, p, tr, codec, share, reports, conts[self], stop, newProcChaos(self, plan, stall, dm))
 		}(i, procs[i])
 	}
 
@@ -128,7 +152,14 @@ loop:
 			runErr = err
 			break
 		}
-		for i := 0; i < n; i++ {
+		expect := n
+		if plan != nil {
+			expect = plan.aliveEntering(r)
+			if expect == 0 {
+				break // everyone has crashed; round r never happens
+			}
+		}
+		for i := 0; i < expect; i++ {
 			rep := <-reports
 			if rep.err != nil {
 				runErr = rep.err
@@ -138,8 +169,12 @@ loop:
 				runErr = fmt.Errorf("runtime: p%d reported round %d during round %d", rep.self+1, rep.round, r)
 				break loop
 			}
+			if rep.crashed != (plan != nil && plan.Round[rep.self] == r) {
+				runErr = fmt.Errorf("runtime: p%d crash report in round %d disagrees with the plan", rep.self+1, r)
+				break loop
+			}
 		}
-		// All round-r transitions are complete and every process is
+		// All round-r transitions are complete and every live process is
 		// parked awaiting release: the quiescent state observers and
 		// stop predicates are defined on.
 		res.Rounds = r
@@ -147,11 +182,16 @@ loop:
 			cfg.Observer.OnRound(r, g, procs)
 		}
 		stopNow := r == cfg.MaxRounds
-		if cfg.StopWhen != nil && cfg.StopWhen(r, procs) {
-			res.Stopped = true
-			stopNow = true
+		if cfg.StopWhen != nil {
+			if cfg.StopWhen(r, procs) || (plan != nil && plan.survivorsDecided(procs)) {
+				res.Stopped = true
+				stopNow = true
+			}
 		}
 		for i := range conts {
+			if plan != nil && plan.Round[i] != 0 && plan.Round[i] <= r {
+				continue // crashed: its goroutine is gone
+			}
 			conts[i] <- !stopNow
 		}
 		if stopNow {
@@ -172,8 +212,11 @@ loop:
 // controller, every round until released or aborted. In pipelined mode
 // the round-1 send primes the pipeline before the loop; otherwise each
 // round's send happens at the top of its own iteration, after the
-// controller's release.
-func runProcess(self, n, maxRounds int, pipelined bool, p rounds.Algorithm, tr transport.Transport, codec Codec, share *decodeShare, reports chan<- report, cont <-chan bool, stop <-chan struct{}) {
+// controller's release. chaos, when non-nil, injects this process's
+// planned crash (site-exact) and stall delays; a crashing process
+// performs its site's sends, optionally announces its death, reports
+// crashed, and returns — its goroutine is the thing that dies.
+func runProcess(self, n, maxRounds int, pipelined bool, p rounds.Algorithm, tr transport.Transport, codec Codec, share *decodeShare, reports chan<- report, cont <-chan bool, stop <-chan struct{}, chaos *procChaos) {
 	sendReport := func(rep report) bool {
 		select {
 		case reports <- rep:
@@ -206,7 +249,33 @@ func runProcess(self, n, maxRounds int, pipelined bool, p rounds.Algorithm, tr t
 		}
 	}
 	for r := 1; ; r++ {
+		if chaos != nil && chaos.crashRound == r {
+			// The planned crash. Before-send dies with the round-r message
+			// unsent; mid-send broadcasts through the crash-cut policy (the
+			// receivers in Partial get it, the rest get tombstones);
+			// after-send broadcasts in full. Then the goroutine — the
+			// process — is gone: no gather, no transition, no report beyond
+			// the crash notice.
+			if chaos.site != CrashBeforeSend {
+				if err := send(r); err != nil {
+					sendReport(report{self: self, round: r, err: abortErr(self, r, err)})
+					return
+				}
+			}
+			if chaos.notify && chaos.dm != nil {
+				from := r
+				if chaos.site != CrashBeforeSend {
+					from = r + 1 // the round-r frame was really sent; only later rounds are dead
+				}
+				chaos.dm.MarkDead(self, from)
+			}
+			sendReport(report{self: self, round: r, crashed: true})
+			return
+		}
 		if !pipelined {
+			if d := chaos.sendDelay(r); d > 0 {
+				time.Sleep(d)
+			}
 			if err := send(r); err != nil {
 				sendReport(report{self: self, round: r, err: abortErr(self, r, err)})
 				return
@@ -305,6 +374,27 @@ type RunnerOpts struct {
 	// skew is.
 	Jitter     time.Duration
 	JitterSeed int64
+
+	// Crash, when non-nil, injects process crashes (see CrashPlan): the
+	// planned processes' goroutines die at their planned rounds and
+	// sites, their sends are cut accordingly in the transport policy,
+	// and the run continues with the survivors (RunChaos).
+	Crash *CrashPlan
+	// Stall, when non-nil, delays processes' sends without killing them
+	// (see StallPlan) — the stimulus for deadline closures and stall
+	// streaks that end in recovery rather than a death verdict.
+	Stall *StallPlan
+	// TCPOpts tunes the TCP mesh (chaos knobs: deadline closure, stall
+	// detection, reconnect). The zero value is the classic reliable mesh.
+	TCPOpts transport.TCPOpts
+	// Meter, when non-nil, records the realized heard-set of every
+	// gather. On the UDP mesh it is wired natively (overriding
+	// UDP.Meter); the other transports are wrapped with Metered.
+	Meter *transport.HeardMeter
+	// OnTransport, when non-nil, is called with each run's transport
+	// right after construction — the hook the agreement service uses to
+	// get a DeadMarker handle for watchdog verdicts.
+	OnTransport func(transport.Transport)
 }
 
 // kind resolves the transport selection, folding the legacy TCP flag in.
@@ -343,6 +433,12 @@ func NewRunner(opts RunnerOpts) func(rounds.Config) (*rounds.Result, error) {
 		adv := adversary.MaterializeRun(cfg.Adversary, cfg.MaxRounds)
 		cfg.Adversary = adv
 		var pol transport.Policy = transport.NewSchedule(adv)
+		if opts.Crash != nil {
+			// The crash cut composes under the schedule: a crashing
+			// process's round-r sends are restricted to its site's
+			// receivers before the schedule's own drops apply.
+			pol = crashCut{inner: pol, plan: opts.Crash}
+		}
 		if opts.Jitter > 0 {
 			pol = transport.Jitter{Inner: pol, Seed: opts.JitterSeed, Max: opts.Jitter}
 		}
@@ -351,7 +447,7 @@ func NewRunner(opts RunnerOpts) func(rounds.Config) (*rounds.Result, error) {
 		case "inproc":
 			tr = transport.NewInProc(adv.N(), pol)
 		case "tcp":
-			t, err := transport.NewTCPMeshLoopback(adv.N(), opts.meshNodes(adv.N()), pol)
+			t, err := transport.NewTCPMeshLoopbackOpts(adv.N(), opts.meshNodes(adv.N()), pol, opts.TCPOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -364,6 +460,9 @@ func NewRunner(opts RunnerOpts) func(rounds.Config) (*rounds.Result, error) {
 					return injected(r, from, to, frag) || (inner != nil && inner(r, from, to, frag))
 				}
 			}
+			if opts.Meter != nil {
+				u.Meter = opts.Meter
+			}
 			t, err := transport.NewUDPMeshLoopback(adv.N(), opts.meshNodes(adv.N()), pol, u)
 			if err != nil {
 				return nil, err
@@ -372,6 +471,12 @@ func NewRunner(opts RunnerOpts) func(rounds.Config) (*rounds.Result, error) {
 		default:
 			return nil, fmt.Errorf("runtime: unknown transport kind %q", kind)
 		}
-		return Run(cfg, tr, opts.Codec)
+		if opts.Meter != nil && opts.kind() != "udp" {
+			tr = transport.Metered(tr, opts.Meter)
+		}
+		if opts.OnTransport != nil {
+			opts.OnTransport(tr)
+		}
+		return RunChaos(cfg, tr, opts.Codec, opts.Crash, opts.Stall)
 	}
 }

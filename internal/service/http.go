@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -32,6 +33,11 @@ type Health struct {
 // (clients should split, the queue bound applies regardless).
 const MaxBatch = 1024
 
+// RetryAfter is the backoff hint a load-shed submission carries in its
+// Retry-After header: the queue is bounded and drains at session
+// granularity, so a short fixed hint beats an estimate.
+const RetryAfter = 2 * time.Second
+
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/sessions          batch submission (BatchRequest -> BatchResponse)
@@ -40,9 +46,10 @@ const MaxBatch = 1024
 //	GET  /healthz              liveness + queue depth
 //	GET  /metrics              Prometheus text format
 //
-// Status codes: 202 when at least one session was accepted, 429 when
-// the whole batch was turned away by backpressure, 400 for malformed
-// requests, 404 for unknown sessions.
+// Status codes: 202 when at least one session was accepted, 503 +
+// Retry-After when the whole batch was load-shed (queue full or
+// draining), 429 when it was rejected outright by validation, 400 for
+// malformed requests, 404 for unknown sessions.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleSubmit)
@@ -69,17 +76,29 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := BatchResponse{Results: s.Submit(req.Sessions)}
+	shed := false
 	for _, res := range resp.Results {
-		if res.Error == "" {
+		switch res.Error {
+		case "":
 			resp.Accepted++
-		} else {
-			resp.Rejected++
+			continue
+		case "queue full", "service closed":
+			shed = true
 		}
+		resp.Rejected++
 	}
 	code := http.StatusAccepted
 	if resp.Accepted == 0 {
-		// The whole batch bounced — tell the client to back off.
-		code = http.StatusTooManyRequests
+		// The whole batch bounced. Load shedding (bounded queue full, or
+		// the service is draining) is the overloaded-server case: 503
+		// with a Retry-After so well-behaved clients back off and come
+		// back; a batch rejected purely by validation stays 429.
+		if shed {
+			w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter/time.Second)))
+			code = http.StatusServiceUnavailable
+		} else {
+			code = http.StatusTooManyRequests
+		}
 	}
 	writeJSON(w, code, resp)
 }

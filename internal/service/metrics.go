@@ -14,8 +14,10 @@ import (
 type metrics struct {
 	submitted        atomic.Int64
 	rejected         atomic.Int64
+	shed             atomic.Int64
 	completed        atomic.Int64
 	failed           atomic.Int64
+	crashed          atomic.Int64
 	running          atomic.Int64
 	roundsTotal      atomic.Int64
 	decisionsTotal   atomic.Int64
@@ -32,8 +34,13 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	}
 	counter("ksetd_sessions_submitted_total", "Sessions submitted through the batch API.", s.met.submitted.Load())
 	counter("ksetd_sessions_rejected_total", "Submissions rejected (validation or backpressure).", s.met.rejected.Load())
+	counter("ksetd_sessions_shed_total", "Submissions turned away by load shedding (bounded queue full).", s.met.shed.Load())
 	counter("ksetd_sessions_completed_total", "Sessions finished successfully.", s.met.completed.Load())
 	counter("ksetd_sessions_failed_total", "Sessions that ended in an execution error.", s.met.failed.Load())
+	counter("ksetd_sessions_crashed_total", "Sessions the watchdog declared crashed (partial results flushed).", s.met.crashed.Load())
+	counter("ksetd_peer_stalls_total", "Rounds a session transport closed by deadline with senders missing.", s.stall.Stalls.Load())
+	counter("ksetd_retries_total", "Transport reconnect attempts to stalled peers.", s.stall.Retries.Load())
+	counter("ksetd_peers_dead_total", "Peer-death verdicts issued by session transports.", s.stall.Dead.Load())
 	counter("ksetd_rounds_total", "Algorithm rounds executed across all sessions.", s.met.roundsTotal.Load())
 	counter("ksetd_decisions_total", "Distinct decision values across all sessions.", s.met.decisionsTotal.Load())
 	counter("ksetd_kbound_violations_total", "Sessions whose decisions exceeded the MinK bound (possible only with faithful_guard).", s.met.kboundViolations.Load())

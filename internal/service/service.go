@@ -17,11 +17,13 @@ package service
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"kset/internal/adversary"
 	"kset/internal/core"
+	"kset/internal/graph"
 	"kset/internal/rounds"
 	"kset/internal/runtime"
 	"kset/internal/sim"
@@ -41,6 +43,13 @@ type Config struct {
 	// Retain bounds how many finished sessions the registry keeps for
 	// polling before the oldest are evicted; default 4096.
 	Retain int
+	// SessionTimeout is the per-session watchdog deadline: a session
+	// still executing this long after it started is declared crashed —
+	// its transport is torn down (which kills the run's process
+	// goroutines promptly on every transport), the partial outcome
+	// observed so far is flushed into the registry under status
+	// "crashed", and the worker moves on. 0 disables the watchdog.
+	SessionTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -96,7 +105,12 @@ type SessionSpec struct {
 	MaxRounds int `json:"max_rounds,omitempty"`
 }
 
-// SessionResult is the outcome of a finished session.
+// SessionResult is the outcome of a finished session. A crashed
+// session (watchdog deadline exceeded) carries a partial result:
+// Partial is true, Decisions/Decided/Distinct/Rounds reflect the last
+// fully-observed round, and the bound fields (MinK, KBound, RST) are
+// zero — the run never finished, so there is no realized skeleton to
+// evaluate the theorem against.
 type SessionResult struct {
 	// Decisions[i] is process i's decision (meaningful where Decided).
 	Decisions []int64 `json:"decisions"`
@@ -115,10 +129,12 @@ type SessionResult struct {
 	// skeleton stabilization round.
 	Rounds int `json:"rounds"`
 	RST    int `json:"rst"`
+	// Partial marks a crashed session's flushed-at-deadline snapshot.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // Session is one registry entry. Status moves queued -> running ->
-// done|failed.
+// done|failed|crashed.
 type Session struct {
 	ID     string         `json:"id"`
 	Status string         `json:"status"`
@@ -139,6 +155,10 @@ type Service struct {
 	cfg   Config
 	start time.Time
 	met   metrics
+	// stall aggregates the transports' chaos counters across all
+	// sessions (deadline-closed rounds, reconnect attempts, peer-death
+	// verdicts) for /metrics.
+	stall transport.StallCounters
 
 	queue chan *Session
 	stop  chan struct{}
@@ -229,6 +249,7 @@ func (s *Service) submitOne(spec SessionSpec) SubmitResult {
 		// Backpressure: the bounded queue is full. The session was
 		// never registered, so rejected ids are not pollable.
 		s.met.rejected.Add(1)
+		s.met.shed.Add(1)
 		return SubmitResult{Error: "queue full"}
 	}
 }
@@ -355,14 +376,29 @@ func (s *Service) worker() {
 }
 
 // execute runs one session over the distributed runtime and records the
-// outcome.
+// outcome. When Config.SessionTimeout is set, a watchdog arms for the
+// duration of the run: firing tears the session's transport down (the
+// run's process goroutines die on ErrClosed within a round) and the
+// session terminates as "crashed" with the partial outcome the watchdog
+// observed — so one wedged session can never pin a worker forever.
 func (s *Service) execute(sess *Session) {
 	s.setStatus(sess.ID, "running")
 	s.met.running.Add(1)
 	defer s.met.running.Add(-1)
 
-	out, err := runSession(sess.Spec)
+	lr := newLiveRun(sess.Spec.N)
+	if d := s.cfg.SessionTimeout; d > 0 {
+		timer := time.AfterFunc(d, lr.kill)
+		defer timer.Stop()
+	}
+	out, err := runSession(sess.Spec, lr, &s.stall)
 	if err != nil {
+		if lr.killed() {
+			s.met.crashed.Add(1)
+			s.terminate(sess, "crashed", lr.partial(),
+				fmt.Sprintf("watchdog: session exceeded %v deadline", s.cfg.SessionTimeout))
+			return
+		}
 		s.finish(sess, nil, err)
 		return
 	}
@@ -386,8 +422,11 @@ func (s *Service) execute(sess *Session) {
 
 // runSession executes one spec over the runtime (sessions are real
 // distributed executions, not simulator calls — the sim package here
-// only supplies the measurement pipeline around runtime.NewRunner).
-func runSession(spec SessionSpec) (*sim.Outcome, error) {
+// only supplies the measurement pipeline around runtime.NewRunner). lr
+// observes the run for the watchdog (partial outcomes, transport
+// teardown handle); counters aggregate the transport's stall/retry/
+// death tallies into the service's /metrics.
+func runSession(spec SessionSpec, lr *liveRun, counters *transport.StallCounters) (*sim.Outcome, error) {
 	adv, err := buildAdversary(spec)
 	if err != nil {
 		return nil, err
@@ -396,13 +435,20 @@ func runSession(spec SessionSpec) (*sim.Outcome, error) {
 	if props == nil {
 		props = sim.SeqProposals(spec.N)
 	}
-	ropts := runtime.RunnerOpts{Kind: spec.Transport}
-	if spec.Transport == "udp" {
+	ropts := runtime.RunnerOpts{Kind: spec.Transport, OnTransport: lr.onTransport}
+	switch spec.Transport {
+	case "udp":
 		// Sessions favor fidelity over round latency: with a generous
 		// deadline, a quiet loopback effectively never loses a frame, so
 		// session results stay replayable in practice while the
 		// algorithm still tolerates any loss that does occur.
-		ropts.UDP = transport.UDPOpts{RoundTimeout: 250 * time.Millisecond, Grace: 2 * time.Millisecond}
+		ropts.UDP = transport.UDPOpts{RoundTimeout: 250 * time.Millisecond, Grace: 2 * time.Millisecond,
+			Counters: counters}
+	case "tcp":
+		// Counters alone do not switch the mesh into chaos mode (that
+		// takes a round deadline); they just surface any verdicts a
+		// chaos-tuned future session records.
+		ropts.TCPOpts.Stall.Counters = counters
 	}
 	return sim.Execute(sim.Spec{
 		Adversary: adv,
@@ -410,7 +456,95 @@ func runSession(spec SessionSpec) (*sim.Outcome, error) {
 		Opts:      core.Options{ConservativeDecide: !spec.FaithfulGuard},
 		MaxRounds: spec.MaxRounds,
 		Runner:    runtime.NewRunner(ropts),
+		Observer:  lr,
 	})
+}
+
+// liveRun is the watchdog's view of one executing session: it observes
+// every completed round (rounds.Observer, called on the runtime
+// controller's quiescent point) so a crashed session can flush the
+// outcome it reached, and it holds the transport handle so the watchdog
+// verdict can tear the run down.
+type liveRun struct {
+	mu       sync.Mutex
+	tr       transport.Transport
+	dead     bool
+	rounds   int
+	decided  []bool
+	decision []int64
+}
+
+func newLiveRun(n int) *liveRun {
+	return &liveRun{decided: make([]bool, n), decision: make([]int64, n)}
+}
+
+// onTransport is the RunnerOpts hook: it stashes the run's transport
+// for the watchdog. A watchdog that fired before the transport existed
+// (a session wedged in mesh construction) kills it on arrival.
+func (lr *liveRun) onTransport(tr transport.Transport) {
+	lr.mu.Lock()
+	lr.tr = tr
+	dead := lr.dead
+	lr.mu.Unlock()
+	if dead {
+		tr.Close()
+	}
+}
+
+// OnRound implements rounds.Observer: snapshot the decision state after
+// every completed round. Runs on the controller goroutine while all
+// processes are parked, so reading the Deciders is race-free.
+func (lr *liveRun) OnRound(r int, _ *graph.Digraph, procs []rounds.Algorithm) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	lr.rounds = r
+	for i, p := range procs {
+		if d, ok := p.(rounds.Decider); ok && d.Decided() {
+			lr.decided[i] = true
+			lr.decision[i], _ = d.Decision()
+		}
+	}
+}
+
+// kill is the watchdog verdict: mark the session crashed and tear its
+// transport down, which wakes every parked Gather with ErrClosed.
+func (lr *liveRun) kill() {
+	lr.mu.Lock()
+	lr.dead = true
+	tr := lr.tr
+	lr.mu.Unlock()
+	if tr != nil {
+		tr.Close()
+	}
+}
+
+// killed reports whether the watchdog fired.
+func (lr *liveRun) killed() bool {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.dead
+}
+
+// partial flushes the last fully-observed round into a crashed
+// session's result.
+func (lr *liveRun) partial() *SessionResult {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	res := &SessionResult{
+		Partial:   true,
+		Rounds:    lr.rounds,
+		Decisions: append([]int64(nil), lr.decision...),
+		Decided:   append([]bool(nil), lr.decided...),
+	}
+	seen := map[int64]bool{}
+	for i, d := range lr.decided {
+		if d && !seen[lr.decision[i]] {
+			seen[lr.decision[i]] = true
+			res.Distinct = append(res.Distinct, lr.decision[i])
+		}
+	}
+	sort.Slice(res.Distinct, func(i, j int) bool { return res.Distinct[i] < res.Distinct[j] })
+	return res
 }
 
 func (s *Service) setStatus(id, status string) {
@@ -424,12 +558,20 @@ func (s *Service) setStatus(id, status string) {
 // finish records a session's terminal state and applies the retention
 // bound, evicting the oldest finished sessions beyond Config.Retain.
 func (s *Service) finish(sess *Session, res *SessionResult, err error) {
-	s.mu.Lock()
 	if err != nil {
-		sess.Status, sess.Error = "failed", err.Error()
-	} else {
-		sess.Status, sess.Result = "done", res
+		s.terminate(sess, "failed", nil, err.Error())
+		s.met.failed.Add(1)
+		return
 	}
+	s.terminate(sess, "done", res, "")
+	s.met.completed.Add(1)
+}
+
+// terminate moves a session to a terminal status (done, failed, or
+// crashed) and evicts the oldest finished sessions beyond Config.Retain.
+func (s *Service) terminate(sess *Session, status string, res *SessionResult, errMsg string) {
+	s.mu.Lock()
+	sess.Status, sess.Result, sess.Error = status, res, errMsg
 	s.finished = append(s.finished, sess.ID)
 	for len(s.finished) > s.cfg.Retain {
 		victim := s.finished[0]
@@ -437,9 +579,4 @@ func (s *Service) finish(sess *Session, res *SessionResult, err error) {
 		delete(s.sessions, victim)
 	}
 	s.mu.Unlock()
-	if err != nil {
-		s.met.failed.Add(1)
-	} else {
-		s.met.completed.Add(1)
-	}
 }

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// slowSpec is a session that cannot decide before the watchdog fires:
+// at n = 128 a round costs ~20ms of O(n^4) merge work and the decision
+// sits hundreds of rounds out, so the session is reliably still
+// executing (with rounds observed) seconds into its run.
+func slowSpec() SessionSpec {
+	return SessionSpec{N: 128, Family: "rooted", Roots: 2, Seed: 1}
+}
+
+// waitStatus polls until the session reaches the wanted status.
+func waitStatus(t *testing.T, s *Service, id, want string) Session {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		sess, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("session %s vanished", id)
+		}
+		if sess.Status == want {
+			return sess
+		}
+		if sess.Status == "failed" && want != "failed" {
+			t.Fatalf("session %s failed: %s", id, sess.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("session %s never reached status %q", id, want)
+	return Session{}
+}
+
+// TestWatchdogCrashesWedgedSession pins the per-session watchdog: a
+// session that cannot decide is declared crashed at the deadline, its
+// partial outcome (rounds observed so far) is flushed into the registry,
+// and the crash is counted in /metrics. The worker survives to run the
+// next session.
+func TestWatchdogCrashesWedgedSession(t *testing.T) {
+	s := New(Config{Workers: 1, SessionTimeout: 300 * time.Millisecond})
+	defer s.Close()
+
+	r := s.Submit([]SessionSpec{slowSpec()})[0]
+	if r.Error != "" {
+		t.Fatal(r.Error)
+	}
+	sess := waitStatus(t, s, r.ID, "crashed")
+	if sess.Result == nil || !sess.Result.Partial {
+		t.Fatalf("crashed session carries no partial result: %+v", sess)
+	}
+	if sess.Result.Rounds == 0 {
+		t.Error("watchdog flushed zero observed rounds from a session that was executing")
+	}
+	if !strings.Contains(sess.Error, "watchdog") {
+		t.Errorf("crashed session error %q does not name the watchdog", sess.Error)
+	}
+	for i, d := range sess.Result.Decided {
+		if d {
+			t.Errorf("p%d decided under permanent noise", i+1)
+		}
+	}
+
+	// The worker is free again: a fast session completes normally and
+	// the watchdog leaves it alone.
+	r = s.Submit([]SessionSpec{{N: 4, Family: "complete", Seed: 2}})[0]
+	if r.Error != "" {
+		t.Fatal(r.Error)
+	}
+	done := waitStatus(t, s, r.ID, "done")
+	if done.Result.Partial {
+		t.Error("completed session marked partial")
+	}
+
+	var sb strings.Builder
+	s.WriteMetrics(&sb)
+	for _, want := range []string{
+		"ksetd_sessions_crashed_total 1",
+		"ksetd_peer_stalls_total",
+		"ksetd_retries_total",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDrainFlushesCrashedInFlight is the graceful-drain pin: Close
+// arrives while a wedged session is in flight; the watchdog crashes it,
+// the partial outcome is flushed (not lost to the shutdown), Close
+// returns, and no watchdog or session goroutines leak.
+func TestDrainFlushesCrashedInFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 2, SessionTimeout: 300 * time.Millisecond})
+
+	r := s.Submit([]SessionSpec{slowSpec()})[0]
+	if r.Error != "" {
+		t.Fatal(r.Error)
+	}
+	waitStatus(t, s, r.ID, "running")
+	s.Close() // blocks until the watchdog crashes the in-flight session
+
+	sess, ok := s.Get(r.ID)
+	if !ok {
+		t.Fatal("session evicted during drain")
+	}
+	if sess.Status != "crashed" {
+		t.Fatalf("in-flight session drained as %q, want crashed (error: %s)", sess.Status, sess.Error)
+	}
+	if sess.Result == nil || !sess.Result.Partial || sess.Result.Rounds == 0 {
+		t.Fatalf("drain lost the partial outcome: %+v", sess.Result)
+	}
+
+	// Give exited goroutines a moment to unwind, then check for leaks.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines leaked across drain: %d before, %d after", before, got)
+	}
+}
+
+// TestLoadSheddingRetryAfter pins the overload answer: with the worker
+// parked on a wedged session and the bounded queue full, a fully-shed
+// batch gets 503 plus a Retry-After hint, and the shed submissions are
+// counted.
+func TestLoadSheddingRetryAfter(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: 1, SessionTimeout: time.Second})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Fill the worker and the queue: two wedged sessions occupy both
+	// (each for ~1s until its watchdog fires), so every further submit
+	// sheds. Rejections in between just mean the worker had not yet
+	// dequeued the first — retry until both are resident.
+	accepted := 0
+	for i := 0; i < 100 && accepted < 2; i++ {
+		if s.Submit([]SessionSpec{slowSpec()})[0].Error == "" {
+			accepted++
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if accepted < 2 {
+		t.Fatal("could not park the worker and fill the queue")
+	}
+
+	// The worker stays parked for ~1s, so the shed state holds.
+	resp, err := http.Post(srv.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"sessions":[{"n":4,"family":"complete"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed batch: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	var sb strings.Builder
+	s.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), "ksetd_sessions_shed_total") {
+		t.Error("metrics missing shed counter")
+	}
+}

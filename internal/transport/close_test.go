@@ -2,7 +2,9 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -156,6 +158,167 @@ func TestUDPCloseDuringInFlightGather(t *testing.T) {
 		}
 		if err := ep.Close(); err != nil {
 			t.Fatalf("endpoint close after transport close: %v", err)
+		}
+	})
+}
+
+// driveWithSilentPeer claims every endpoint, has the victim broadcast
+// its round-1 frame and then go silent — a crashed process: its endpoint
+// is never closed, it simply stops participating — and drives the
+// survivors through `rounds` rounds. Survivors must hear the victim in
+// round 1 and see its slot as a permanent drop by the final round (the
+// death verdict has landed, whether announced via MarkDead or detected
+// by the stall machinery). announce, when non-nil, is the supervisor's
+// announced-crash path for transports with no detector of their own.
+func driveWithSilentPeer(t *testing.T, tr Transport, victim, rounds int, announce func()) {
+	t.Helper()
+	n := tr.N()
+	vep, err := tr.Endpoint(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vep.Broadcast(1, payloadFor(victim, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if announce != nil {
+		announce()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			ep, err := tr.Endpoint(self)
+			if err != nil {
+				errs[self] = err
+				return
+			}
+			var buf [][]byte
+			for r := 1; r <= rounds; r++ {
+				if err := ep.Broadcast(r, payloadFor(self, r)); err != nil {
+					errs[self] = err
+					return
+				}
+				recv, err := ep.Gather(r, buf)
+				if err != nil {
+					errs[self] = err
+					return
+				}
+				buf = recv
+				if r == 1 && recv[victim] == nil {
+					errs[self] = fmt.Errorf("round 1 lost the victim's pre-crash frame")
+					return
+				}
+				if r == rounds && recv[victim] != nil {
+					errs[self] = fmt.Errorf("round %d still hears the dead victim", r)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("p%d: %v", i+1, err)
+		}
+	}
+}
+
+// TestCloseWithKilledPeerLeaksNoGoroutines extends the leak pin to the
+// chaos states: a peer killed mid-run (announced on inproc, detected by
+// the stall machinery on tcp and udp) must leave the survivors able to
+// finish their rounds, and Close must still unwind every goroutine. The
+// tcp case doubles as the dead-peer-unwedge pin — with the zero TCPOpts
+// this exact drive would block in Gather forever.
+func TestCloseWithKilledPeerLeaksNoGoroutines(t *testing.T) {
+	const n, victim, rounds = 4, 2, 6
+	t.Run("inproc", func(t *testing.T) {
+		leakCheck(t, func() {
+			tr := NewInProc(n, nil)
+			driveWithSilentPeer(t, tr, victim, rounds, func() { tr.MarkDead(victim, 2) })
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	t.Run("tcp", func(t *testing.T) {
+		var c StallCounters
+		leakCheck(t, func() {
+			tr, err := NewTCPMeshLoopbackOpts(n, n, nil, TCPOpts{Stall: StallOpts{
+				RoundTimeout: 100 * time.Millisecond,
+				DeadAfter:    2,
+				MaxReconnect: 3,
+				Counters:     &c,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveWithSilentPeer(t, tr, victim, rounds, nil)
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if c.Stalls.Load() == 0 {
+			t.Error("silent peer burned no deadlines")
+		}
+		if c.Dead.Load() == 0 {
+			t.Error("stall detector never issued the death verdict")
+		}
+	})
+	t.Run("udp", func(t *testing.T) {
+		var c StallCounters
+		leakCheck(t, func() {
+			opts := udpTestOpts()
+			opts.RoundTimeout = 100 * time.Millisecond
+			opts.DeadAfter = 2
+			opts.Counters = &c
+			tr, err := NewUDPMeshLoopback(n, n, nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveWithSilentPeer(t, tr, victim, rounds, nil)
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if c.Stalls.Load() == 0 {
+			t.Error("silent peer burned no deadlines")
+		}
+		if c.Dead.Load() == 0 {
+			t.Error("stall detector never issued the death verdict")
+		}
+	})
+}
+
+// TestTCPCloseDuringReconnectLeaksNoGoroutines breaks an inter-node
+// stream mid-run so both recovery goroutines spawn — the dialer side
+// parks in its first backoff sleep (deliberately huge), the accept side
+// in its replacement budget — and then closes the transport. Both must
+// unwind via the transport's done channel, not their timers.
+func TestTCPCloseDuringReconnectLeaksNoGoroutines(t *testing.T) {
+	leakCheck(t, func() {
+		tr, err := NewTCPMeshLoopbackOpts(4, 2, nil, TCPOpts{Stall: StallOpts{
+			RoundTimeout:  time.Minute, // rounds close by count; only the break matters
+			MaxReconnect:  64,
+			ReconnectBase: 2 * time.Second, // first redial parks well past the Close below
+			ReconnectMax:  10 * time.Second,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveRun(t, tr, 2)
+		nd := tr.nodes[0]
+		nd.mu.Lock()
+		stream := nd.conns[1]
+		nd.mu.Unlock()
+		stream.Close() // both reader loops fail: node 0 redials, node 1 awaits
+		time.Sleep(50 * time.Millisecond)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
 		}
 	})
 }

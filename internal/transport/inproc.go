@@ -65,6 +65,19 @@ func (t *InProc) Endpoint(self int) (Endpoint, error) {
 	return &inprocEndpoint{t: t, self: self, drops: make([]bool, t.n)}, nil
 }
 
+// MarkDead implements DeadMarker: process p's missing deliveries from
+// round fromRound onward become permanent nil tombstones at every
+// receiver, so their rounds close by count without p. With no deadline
+// machinery anywhere in this transport, an announced death verdict is
+// the only way an in-proc run survives a crashed process — which is
+// also the only way an in-proc process can die, since there is no OS
+// boundary for an unannounced crash to hide behind.
+func (t *InProc) MarkDead(p, fromRound int) {
+	for _, b := range t.boxes {
+		b.markDead(p, fromRound)
+	}
+}
+
 // Close implements Transport: it wakes every parked Gather with
 // ErrClosed. Idempotent.
 func (t *InProc) Close() error {
@@ -129,7 +142,7 @@ func (ep *inprocEndpoint) Broadcast(r int, payload []byte) error {
 
 // Gather implements Endpoint.
 func (ep *inprocEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
-	recv, err := ep.t.boxes[ep.self].await(r, into)
+	recv, _, err := ep.t.boxes[ep.self].await(r, into, 0, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,8 @@ type lossyBuffer struct {
 	awaiting int // round a parked await is blocked on (0 = none)
 	count    [window]int
 	slots    [window][]slot
+	dead     []int // per sender: first dead round (0 = alive), lazily allocated
+	missed   []int // senders the last deadline closure gave up on (scratch)
 
 	ready chan struct{} // pulsed on every accepted deposit and state change
 	timer *time.Timer   // round-closure timer, owned by the awaiting process
@@ -87,6 +89,15 @@ func (b *lossyBuffer) deposit(from, r int, payload []byte, buf *refBuf) {
 		b.mu.Unlock()
 		return
 	}
+	if b.dead != nil && b.dead[from] != 0 && r >= b.dead[from] {
+		// Declared-dead sender: its slots are pre-filled, so any frame
+		// racing the verdict is dropped like a late datagram.
+		b.mu.Unlock()
+		if buf != nil {
+			buf.release()
+		}
+		return
+	}
 	if r <= b.released || r > b.released+window {
 		b.mu.Unlock()
 		if buf != nil {
@@ -111,12 +122,16 @@ func (b *lossyBuffer) deposit(from, r int, payload []byte, buf *refBuf) {
 }
 
 // closeRoundLocked seals round r: every sender still missing becomes a
-// nil payload — absence is the drop signal.
+// nil payload — absence is the drop signal. The senders given up on are
+// recorded in b.missed for the stall detector: an injected drop arrives
+// as an explicit tombstone and a dead sender's slot is pre-filled, so a
+// missed entry here means the network (or a crashed peer) went silent.
 func (b *lossyBuffer) closeRoundLocked(r int) {
 	ss := b.slots[r%window]
 	for i := range ss {
 		if !ss[i].present {
 			ss[i] = slot{present: true}
+			b.missed = append(b.missed, i)
 		}
 	}
 	b.count[r%window] = b.n
@@ -126,8 +141,10 @@ func (b *lossyBuffer) closeRoundLocked(r int) {
 // the deadline+grace rule gives up on the missing ones — and fills
 // `into` with the payload views (nil entries for drops, injected or
 // real). Rounds must be awaited in order; round r-1's buffers are
-// recycled on entry.
-func (b *lossyBuffer) await(r int, into [][]byte, deadline, grace time.Duration) ([][]byte, error) {
+// recycled on entry. The second result lists the senders the deadline
+// closure gave up on (nil when the round closed by count); it is valid
+// only until the next await call.
+func (b *lossyBuffer) await(r int, into [][]byte, deadline, grace time.Duration) ([][]byte, []int, error) {
 	if cap(into) < b.n {
 		into = make([][]byte, b.n)
 	}
@@ -137,9 +154,10 @@ func (b *lossyBuffer) await(r int, into [][]byte, deadline, grace time.Duration)
 	if r != b.gathered+1 {
 		err := fmt.Errorf("transport: Gather(%d) after round %d (rounds must be gathered in order)", r, b.gathered)
 		b.failLocked(err)
-		return nil, err
+		return nil, nil, err
 	}
 	b.releaseUpToLocked(r - 1)
+	b.missed = b.missed[:0]
 	idx := r % window
 	if b.count[idx] < b.n && b.err == nil && !b.closed {
 		b.awaiting = r
@@ -169,19 +187,58 @@ func (b *lossyBuffer) await(r int, into [][]byte, deadline, grace time.Duration)
 		b.timer.Stop()
 	}
 	if b.err != nil {
-		return nil, b.err
+		return nil, nil, b.err
 	}
 	if b.closed {
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	b.gathered = r
 	for q, s := range b.slots[idx] {
 		into[q] = s.payload
 	}
-	return into, nil
+	missed := b.missed
+	if len(missed) == 0 {
+		missed = nil
+	}
+	return into, missed, nil
 }
 
-// releaseUpToLocked recycles every round up to and including r.
+// markDead declares sender `from` dead from round fromRound onward
+// (fromRound <= 1 means from the beginning): missing deliveries in every
+// affected in-window round are pre-filled so rounds close by count
+// instead of burning the deadline, future rounds are pre-filled as their
+// slots recycle, and frames still in flight from it are dropped. This is
+// the terminal stall verdict's effect: a dead peer is permanent loss the
+// receiver no longer waits out.
+func (b *lossyBuffer) markDead(from, fromRound int) {
+	if fromRound < 1 {
+		fromRound = 1
+	}
+	b.mu.Lock()
+	if b.closed || b.err != nil || (b.dead != nil && b.dead[from] != 0 && b.dead[from] <= fromRound) {
+		b.mu.Unlock()
+		return
+	}
+	if b.dead == nil {
+		b.dead = make([]int, b.n)
+	}
+	b.dead[from] = fromRound
+	for rr := b.released + 1; rr <= b.released+window; rr++ {
+		if rr < fromRound {
+			continue
+		}
+		if s := &b.slots[rr%window][from]; !s.present {
+			s.present = true
+			b.count[rr%window]++
+		}
+	}
+	b.pulseLocked()
+	b.mu.Unlock()
+}
+
+// releaseUpToLocked recycles every round up to and including r. A
+// recycled slot next serves round rr+window, so dead senders' entries
+// are pre-filled here — death is permanent.
 func (b *lossyBuffer) releaseUpToLocked(r int) {
 	for rr := b.released + 1; rr <= r; rr++ {
 		ss := b.slots[rr%window]
@@ -192,6 +249,14 @@ func (b *lossyBuffer) releaseUpToLocked(r int) {
 			ss[i] = slot{}
 		}
 		b.count[rr%window] = 0
+		if b.dead != nil {
+			for i := range ss {
+				if b.dead[i] != 0 && rr+window >= b.dead[i] {
+					ss[i].present = true
+					b.count[rr%window]++
+				}
+			}
+		}
 	}
 	if r > b.released {
 		b.released = r

@@ -57,6 +57,22 @@ type slot struct {
 	present bool
 }
 
+// mailbox is the receive-side contract shared by the reliable
+// (roundBuffer) and best-effort (lossyBuffer) mailboxes, so a transport
+// can pick its closure discipline per run (the TCP mesh runs reliable
+// mailboxes in lockstep-exact mode and lossy ones under chaos). The
+// deadline and grace arguments are ignored by the reliable mailbox, and
+// the missed result — senders a deadline closure gave up on — is always
+// nil there: a reliable round closes only when every sender (or its
+// declared death) is accounted for.
+type mailbox interface {
+	deposit(from, r int, payload []byte, buf *refBuf)
+	await(r int, into [][]byte, deadline, grace time.Duration) ([][]byte, []int, error)
+	markDead(from, fromRound int)
+	fail(err error)
+	close()
+}
+
 // roundBuffer is a receiver's mailbox: a fixed ring of `window` round
 // slots, each holding one delivery per sender. It replaces the per-link
 // channel pairs of the original transports — senders (or reader loops)
@@ -74,6 +90,7 @@ type roundBuffer struct {
 	released int // highest round whose buffers were recycled
 	count    [window]int
 	slots    [window][]slot
+	dead     []int // per sender: first dead round (0 = alive), lazily allocated
 
 	err    error
 	closed bool
@@ -95,6 +112,16 @@ func (b *roundBuffer) deposit(from, r int, payload []byte, buf *refBuf) {
 	b.mu.Lock()
 	if b.closed || b.err != nil {
 		b.mu.Unlock()
+		return
+	}
+	if b.dead != nil && b.dead[from] != 0 && r >= b.dead[from] {
+		// A frame from a declared-dead sender (its slot was pre-filled by
+		// markDead): in-flight bytes racing the death verdict are dropped,
+		// not a protocol violation.
+		b.mu.Unlock()
+		if buf != nil {
+			buf.release()
+		}
 		return
 	}
 	if r <= b.released || r > b.released+window {
@@ -121,7 +148,9 @@ func (b *roundBuffer) deposit(from, r int, payload []byte, buf *refBuf) {
 // into with the payload views (nil entries for tombstones). Rounds must
 // be awaited in order; round r-1's buffers are recycled on entry (the
 // caller's validity contract: payloads live until the next Gather).
-func (b *roundBuffer) await(r int, into [][]byte) ([][]byte, error) {
+// The deadline and grace arguments of the mailbox contract are ignored —
+// a reliable round closes only by count — and missed is always nil.
+func (b *roundBuffer) await(r int, into [][]byte, _, _ time.Duration) ([][]byte, []int, error) {
 	if cap(into) < b.n {
 		into = make([][]byte, b.n)
 	}
@@ -131,26 +160,62 @@ func (b *roundBuffer) await(r int, into [][]byte) ([][]byte, error) {
 	if r != b.gathered+1 {
 		err := fmt.Errorf("transport: Gather(%d) after round %d (rounds must be gathered in order)", r, b.gathered)
 		b.failLocked(err)
-		return nil, err
+		return nil, nil, err
 	}
 	b.releaseUpToLocked(r - 1)
 	for b.count[r%window] < b.n && b.err == nil && !b.closed {
 		b.cond.Wait()
 	}
 	if b.err != nil {
-		return nil, b.err
+		return nil, nil, b.err
 	}
 	if b.closed {
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	b.gathered = r
 	for q, s := range b.slots[r%window] {
 		into[q] = s.payload
 	}
-	return into, nil
+	return into, nil, nil
 }
 
-// releaseUpToLocked recycles every round up to and including r.
+// markDead declares sender `from` dead from round fromRound onward
+// (fromRound <= 1 means from the beginning): its missing deliveries for
+// every affected in-window round are pre-filled as nil payloads so the
+// rounds close by count, future rounds are pre-filled as their slots
+// recycle, and any frame from it still in flight is silently dropped.
+// This is what lets the reliable mailbox survive a crashed sender
+// without a deadline: absence is converted to an explicit, permanent
+// tombstone the moment the death verdict lands.
+func (b *roundBuffer) markDead(from, fromRound int) {
+	if fromRound < 1 {
+		fromRound = 1
+	}
+	b.mu.Lock()
+	if b.closed || b.err != nil || (b.dead != nil && b.dead[from] != 0 && b.dead[from] <= fromRound) {
+		b.mu.Unlock()
+		return
+	}
+	if b.dead == nil {
+		b.dead = make([]int, b.n)
+	}
+	b.dead[from] = fromRound
+	for rr := b.released + 1; rr <= b.released+window; rr++ {
+		if rr < fromRound {
+			continue
+		}
+		if s := &b.slots[rr%window][from]; !s.present {
+			s.present = true
+			b.count[rr%window]++
+		}
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// releaseUpToLocked recycles every round up to and including r. A
+// recycled slot next serves round rr+window, so dead senders' entries
+// are pre-filled here — death is permanent.
 func (b *roundBuffer) releaseUpToLocked(r int) {
 	for rr := b.released + 1; rr <= r; rr++ {
 		ss := b.slots[rr%window]
@@ -161,6 +226,14 @@ func (b *roundBuffer) releaseUpToLocked(r int) {
 			ss[i] = slot{}
 		}
 		b.count[rr%window] = 0
+		if b.dead != nil {
+			for i := range ss {
+				if b.dead[i] != 0 && rr+window >= b.dead[i] {
+					ss[i].present = true
+					b.count[rr%window]++
+				}
+			}
+		}
 	}
 	if r > b.released {
 		b.released = r

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// deadBoxes returns both mailbox implementations: the markDead contract
+// — pre-fill affected in-window rounds, persist across slot recycling,
+// silently drop in-flight frames from the dead sender — is shared, so
+// every scenario runs against the reliable and the lossy buffer.
+func deadBoxes() map[string]func(n int) mailbox {
+	return map[string]func(n int) mailbox{
+		"round": func(n int) mailbox { return newRoundBuffer(n) },
+		"lossy": func(n int) mailbox { return newLossyBuffer(n) },
+	}
+}
+
+// noDeadline keeps the lossy buffer from closing rounds on its own: any
+// round that completes did so by count (or markDead pre-fill), never by
+// a deadline burn. The reliable buffer ignores it either way.
+const noDeadline = time.Hour
+
+// awaitChecked runs await under a watchdog: a markDead bug on the
+// reliable mailbox has no deadline to fall back on and would hang the
+// test forever otherwise.
+func awaitChecked(t *testing.T, b mailbox, r int) [][]byte {
+	t.Helper()
+	type result struct {
+		recv   [][]byte
+		missed []int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		recv, missed, err := b.await(r, nil, noDeadline, noDeadline)
+		done <- result{recv, missed, err}
+	}()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("await(%d): %v", r, res.err)
+		}
+		if res.missed != nil {
+			t.Fatalf("await(%d) reported missed senders %v; dead pre-fill must close by count", r, res.missed)
+		}
+		return res.recv
+	case <-time.After(10 * time.Second):
+		t.Fatalf("await(%d) still parked; dead sender's slot was not pre-filled", r)
+		return nil
+	}
+}
+
+// TestMarkDeadUnblocksParkedAwait parks an await on one missing sender
+// and lands the death verdict from another goroutine: the round must
+// close by count with a nil tombstone in the dead sender's slot and the
+// live payloads intact.
+func TestMarkDeadUnblocksParkedAwait(t *testing.T) {
+	for name, mk := range deadBoxes() {
+		t.Run(name, func(t *testing.T) {
+			b := mk(3)
+			b.deposit(0, 1, []byte("a"), nil)
+			b.deposit(1, 1, []byte("b"), nil)
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				b.markDead(2, 1)
+			}()
+			recv := awaitChecked(t, b, 1)
+			if !bytes.Equal(recv[0], []byte("a")) || !bytes.Equal(recv[1], []byte("b")) {
+				t.Errorf("live payloads corrupted: %q %q", recv[0], recv[1])
+			}
+			if recv[2] != nil {
+				t.Errorf("dead sender delivered %q, want nil tombstone", recv[2])
+			}
+		})
+	}
+}
+
+// TestMarkDeadPersistsAcrossRecycle drives three full window turnovers
+// past a death verdict: every recycled slot must re-materialize the dead
+// sender's tombstone, so no later round ever waits on (or hears from)
+// the dead peer again.
+func TestMarkDeadPersistsAcrossRecycle(t *testing.T) {
+	for name, mk := range deadBoxes() {
+		t.Run(name, func(t *testing.T) {
+			b := mk(2)
+			b.markDead(1, 1)
+			for r := 1; r <= 3*window; r++ {
+				payload := []byte{byte(r)}
+				b.deposit(0, r, payload, nil)
+				recv := awaitChecked(t, b, r)
+				if !bytes.Equal(recv[0], payload) {
+					t.Fatalf("round %d: live payload %v, want %v", r, recv[0], payload)
+				}
+				if recv[1] != nil {
+					t.Fatalf("round %d: dead sender resurrected with %v", r, recv[1])
+				}
+			}
+		})
+	}
+}
+
+// TestMarkDeadDropsInFlightFrames pins the race between a death verdict
+// and bytes already on the wire: frames from before the death round are
+// delivered, frames at or after it are silently dropped — never a
+// duplicate-delivery protocol violation, since the verdict pre-filled
+// the slot — and the dropped frame's buffer is released.
+func TestMarkDeadDropsInFlightFrames(t *testing.T) {
+	for name, mk := range deadBoxes() {
+		t.Run(name, func(t *testing.T) {
+			b := mk(2)
+			b.markDead(1, 2)
+			b.deposit(1, 1, []byte("pre-crash"), nil) // before the death round: delivered
+			late := newRefBuf([]byte("post-crash"), 1)
+			b.deposit(1, 2, late.b, late) // at the death round: dropped
+			if got := late.refs.Load(); got != 0 {
+				t.Errorf("dropped in-flight frame holds %d references, want 0 (leaked buffer)", got)
+			}
+			for r := 1; r <= 2; r++ {
+				b.deposit(0, r, []byte("live"), nil)
+				recv := awaitChecked(t, b, r)
+				switch {
+				case r == 1 && !bytes.Equal(recv[1], []byte("pre-crash")):
+					t.Errorf("round 1: pre-crash frame lost, got %v", recv[1])
+				case r == 2 && recv[1] != nil:
+					t.Errorf("round 2: in-flight frame from dead sender delivered: %q", recv[1])
+				}
+			}
+		})
+	}
+}
+
+// TestMarkDeadIsIdempotentAndMonotone re-issues verdicts: repeating one
+// is a no-op, a later death round never weakens an earlier one, and an
+// earlier round tightens it. None of this may double-count a slot or
+// trip the duplicate-delivery check.
+func TestMarkDeadIsIdempotentAndMonotone(t *testing.T) {
+	for name, mk := range deadBoxes() {
+		t.Run(name, func(t *testing.T) {
+			b := mk(2)
+			b.markDead(1, 3)
+			b.markDead(1, 3) // repeat: no-op
+			b.markDead(1, 4) // later round: must not resurrect rounds 3..
+			b.markDead(1, 2) // earlier round: tightens the verdict
+			for r := 1; r <= window+2; r++ {
+				b.deposit(0, r, []byte("live"), nil)
+				if r < 2 {
+					b.deposit(1, r, []byte("dying"), nil)
+				}
+				recv := awaitChecked(t, b, r)
+				if r >= 2 && recv[1] != nil {
+					t.Fatalf("round %d: dead sender delivered %q", r, recv[1])
+				}
+				if r < 2 && recv[1] == nil {
+					t.Fatalf("round %d: pre-death frame lost", r)
+				}
+			}
+		})
+	}
+}

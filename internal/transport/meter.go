@@ -68,3 +68,53 @@ func (m *HeardMeter) Graphs() []*graph.Digraph {
 	defer m.mu.Unlock()
 	return append([]*graph.Digraph(nil), m.graphs...)
 }
+
+// Metered wraps any transport so every successful Gather records its
+// realized heard-set on m. The UDP mesh meters natively (UDPOpts.Meter);
+// this wrapper gives the in-proc and TCP transports the same ground
+// truth, which is what the crash-replay differential mode feeds back
+// through the sequential executor. Death verdicts pass through when the
+// underlying transport supports them.
+func Metered(tr Transport, m *HeardMeter) Transport {
+	return &meteredTransport{tr: tr, m: m}
+}
+
+type meteredTransport struct {
+	tr Transport
+	m  *HeardMeter
+}
+
+func (t *meteredTransport) N() int { return t.tr.N() }
+
+func (t *meteredTransport) Endpoint(self int) (Endpoint, error) {
+	ep, err := t.tr.Endpoint(self)
+	if err != nil {
+		return nil, err
+	}
+	return &meteredEndpoint{Endpoint: ep, m: t.m}, nil
+}
+
+func (t *meteredTransport) Close() error { return t.tr.Close() }
+
+// MarkDead implements DeadMarker by forwarding; a verdict on a transport
+// without death support is dropped (the wrapped run then simply has no
+// crash tolerance, same as the unwrapped one).
+func (t *meteredTransport) MarkDead(p, fromRound int) {
+	if dm, ok := t.tr.(DeadMarker); ok {
+		dm.MarkDead(p, fromRound)
+	}
+}
+
+type meteredEndpoint struct {
+	Endpoint
+	m *HeardMeter
+}
+
+func (ep *meteredEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
+	recv, err := ep.Endpoint.Gather(r, into)
+	if err != nil {
+		return nil, err
+	}
+	ep.m.Record(r, ep.Self(), recv)
+	return recv, nil
+}

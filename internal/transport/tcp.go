@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,16 +50,36 @@ import (
 type TCPMesh struct {
 	n, m  int
 	pol   Policy
+	opts  TCPOpts
+	stall bool // chaos mode: lossy mailboxes, deadline closure, reconnect
+	ready atomic.Bool
 	nodes []*meshNode
 	lns   []net.Listener
 	addrs []string
 	done  chan struct{}
 
-	mu       sync.Mutex
-	claimed  []bool
-	closed   bool
-	conns    []net.Conn
-	setupErr error
+	mu        sync.Mutex
+	claimed   []bool
+	closed    bool
+	conns     []net.Conn
+	deadNodes []bool
+	setupErr  error
+}
+
+// TCPOpts tunes a TCP mesh beyond the lockstep-exact defaults. The zero
+// value is the classic reliable mesh: a missing frame blocks Gather
+// until it arrives or the transport fails — the right contract for
+// differential suites, and a wedge under a crashed peer.
+type TCPOpts struct {
+	// Stall enables chaos mode when Stall.RoundTimeout > 0: receive
+	// mailboxes switch to the lossy deadline+grace closure the UDP mesh
+	// uses (a dead peer costs a deadline, not the run), the stall
+	// detector turns consecutive silence into a terminal death verdict
+	// (Stall.DeadAfter), and broken streams are redialed with jittered
+	// exponential backoff up to Stall.MaxReconnect before the peer node
+	// is declared dead. Off by default so lockstep-exact suites keep the
+	// reliable contract.
+	Stall StallOpts
 }
 
 // nodeLo returns the first process hosted by node i (processes are
@@ -90,6 +111,12 @@ func NewTCPLoopback(n int, pol Policy) (*TCPMesh, error) {
 // streams, handshakes, reader and writer loops — is established before
 // the constructor returns, so Endpoint never dials.
 func NewTCPMeshLoopback(n, nodes int, pol Policy) (*TCPMesh, error) {
+	return NewTCPMeshLoopbackOpts(n, nodes, pol, TCPOpts{})
+}
+
+// NewTCPMeshLoopbackOpts is NewTCPMeshLoopback with chaos knobs (see
+// TCPOpts).
+func NewTCPMeshLoopbackOpts(n, nodes int, pol Policy, opts TCPOpts) (*TCPMesh, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: n = %d, need >= 1", n)
 	}
@@ -99,10 +126,13 @@ func NewTCPMeshLoopback(n, nodes int, pol Policy) (*TCPMesh, error) {
 	if pol == nil {
 		pol = Perfect{}
 	}
+	opts.Stall = opts.Stall.withDefaults()
 	t := &TCPMesh{
 		n:       n,
 		m:       nodes,
 		pol:     pol,
+		opts:    opts,
+		stall:   opts.Stall.RoundTimeout > 0,
 		claimed: make([]bool, n),
 		done:    make(chan struct{}),
 	}
@@ -110,14 +140,19 @@ func NewTCPMeshLoopback(n, nodes int, pol Policy) (*TCPMesh, error) {
 		lo, hi := t.nodeLo(i), t.nodeLo(i+1)
 		nd := &meshNode{t: t, id: i, lo: lo, hi: hi}
 		nd.cond.L = &nd.mu
-		nd.boxes = make([]*roundBuffer, hi-lo)
+		nd.boxes = make([]mailbox, hi-lo)
 		for j := range nd.boxes {
-			nd.boxes[j] = newRoundBuffer(n)
+			if t.stall {
+				nd.boxes[j] = newLossyBuffer(n)
+			} else {
+				nd.boxes[j] = newRoundBuffer(n)
+			}
 		}
 		for r := range nd.pending {
 			nd.pending[r] = make([]*refBuf, hi-lo)
 		}
 		nd.conns = make([]net.Conn, t.m)
+		nd.reconnecting = make([]bool, t.m)
 		t.nodes = append(t.nodes, nd)
 	}
 	if t.m == 1 {
@@ -158,6 +193,7 @@ func NewTCPMeshLoopback(n, nodes int, pol Policy) (*TCPMesh, error) {
 		}
 	}
 	accepts.Wait()
+	t.ready.Store(true) // accept handshakes from here on are reconnects
 	t.mu.Lock()
 	err := t.setupErr
 	t.mu.Unlock()
@@ -169,6 +205,49 @@ func NewTCPMeshLoopback(n, nodes int, pol Policy) (*TCPMesh, error) {
 		go t.nodes[i].writeLoop()
 	}
 	return t, nil
+}
+
+// MarkDead implements DeadMarker: process p's missing deliveries from
+// round fromRound onward become permanent nil tombstones at every
+// hosted mailbox of every node, and p's own node's writer stops waiting
+// for its contributions (its frame slots ship as drop tombstones). This
+// single call patches the whole mesh because the loopback mesh is one
+// object; on a real multi-host deployment each host applies the same
+// verdict to its local view when its own detector fires.
+func (t *TCPMesh) MarkDead(p, fromRound int) {
+	if p < 0 || p >= t.n {
+		return
+	}
+	for _, nd := range t.nodes {
+		for _, b := range nd.boxes {
+			b.markDead(p, fromRound)
+		}
+	}
+	nd := t.nodes[t.nodeOf(p)]
+	nd.markDeadLocal(p-nd.lo, fromRound)
+}
+
+// markNodeDead is the terminal verdict of the stall detector or an
+// exhausted reconnect budget: every process hosted by the peer node is
+// declared dead from now on. Idempotent.
+func (t *TCPMesh) markNodeDead(peer int) {
+	t.mu.Lock()
+	if t.closed || (t.deadNodes != nil && t.deadNodes[peer]) {
+		t.mu.Unlock()
+		return
+	}
+	if t.deadNodes == nil {
+		t.deadNodes = make([]bool, t.m)
+	}
+	t.deadNodes[peer] = true
+	t.mu.Unlock()
+	lo, hi := t.nodeLo(peer), t.nodeLo(peer+1)
+	if c := t.opts.Stall.Counters; c != nil {
+		c.Dead.Add(int64(hi - lo))
+	}
+	for p := lo; p < hi; p++ {
+		t.MarkDead(p, 1)
+	}
 }
 
 // N implements Transport.
@@ -195,7 +274,13 @@ func (t *TCPMesh) Endpoint(self int) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: endpoint %d already claimed", self)
 	}
 	t.claimed[self] = true
-	return &meshEndpoint{nd: t.nodes[t.nodeOf(self)], self: self, drops: make([]bool, t.n)}, nil
+	ep := &meshEndpoint{nd: t.nodes[t.nodeOf(self)], self: self, drops: make([]bool, t.n)}
+	if t.stall {
+		ep.stall = newStallDetector(t.n, t.opts.Stall.DeadAfter, t.opts.Stall.Counters, func(q int) {
+			t.markNodeDead(t.nodeOf(q))
+		})
+	}
+	return ep, nil
 }
 
 // Close implements Transport: it tears down listeners, streams and
@@ -253,7 +338,10 @@ func (t *TCPMesh) failSetup(err error) {
 }
 
 // acceptLoop accepts the streams dialed by lower-numbered nodes and
-// binds each to its peer via the handshake.
+// binds each to its peer via the handshake. After setup, in chaos mode,
+// it also accepts replacement streams from reconnecting peers: the
+// replacement closes whatever stream it supersedes and takes over the
+// peer's slot.
 func (t *TCPMesh) acceptLoop(nd *meshNode, ln net.Listener, accepts *sync.WaitGroup) {
 	for {
 		c, err := ln.Accept()
@@ -264,7 +352,9 @@ func (t *TCPMesh) acceptLoop(nd *meshNode, ln net.Listener, accepts *sync.WaitGr
 			return
 		}
 		go func() {
-			defer accepts.Done()
+			if !t.ready.Load() {
+				defer accepts.Done()
+			}
 			c.SetReadDeadline(time.Now().Add(30 * time.Second))
 			from64, err := binary.ReadUvarint(oneByteReader{c})
 			c.SetReadDeadline(time.Time{})
@@ -273,22 +363,122 @@ func (t *TCPMesh) acceptLoop(nd *meshNode, ln net.Listener, accepts *sync.WaitGr
 				return
 			}
 			from := int(from64)
+			var old net.Conn
 			nd.mu.Lock()
 			switch {
 			case from64 >= uint64(nd.id):
 				err = fmt.Errorf("transport: node %d got handshake from unexpected node %d", nd.id, from64)
-			case nd.conns[from] != nil:
+			case nd.conns[from] != nil && !t.stall:
 				err = fmt.Errorf("transport: node %d got a second stream claiming node %d", nd.id, from)
 			default:
+				old = nd.conns[from]
 				nd.conns[from] = c
+				nd.reconnecting[from] = false
 			}
 			nd.mu.Unlock()
 			if err != nil {
 				t.failSetup(err)
 				return
 			}
+			if old != nil {
+				old.Close()
+			}
 			go t.readLoop(nd, from, c)
 		}()
+	}
+}
+
+// streamBroken handles a read or write failure on the stream to peer in
+// chaos mode: the first notice (reader and writer can both hit it) tears
+// the stream out of the conn table and starts recovery — the original
+// dialer side redials with backoff, the accept side waits out the
+// dialer's budget for a replacement — and an exhausted budget turns into
+// the terminal peer-dead verdict.
+func (t *TCPMesh) streamBroken(nd *meshNode, peer int, c net.Conn) {
+	if closed(t.done) {
+		return
+	}
+	nd.mu.Lock()
+	if nd.conns[peer] != c {
+		// A replacement (or a second notice) already took over.
+		nd.mu.Unlock()
+		return
+	}
+	nd.conns[peer] = nil
+	already := nd.reconnecting[peer]
+	nd.reconnecting[peer] = true
+	nd.mu.Unlock()
+	c.Close()
+	if already {
+		return
+	}
+	switch {
+	case t.opts.Stall.MaxReconnect <= 0:
+		t.markNodeDead(peer)
+	case nd.id < peer:
+		go t.redial(nd, peer)
+	default:
+		go t.awaitReplacement(nd, peer)
+	}
+}
+
+// redial re-establishes the stream this node originally dialed, with
+// jittered exponential backoff, up to the reconnect budget. Success
+// installs the new stream for both loops; exhaustion is the terminal
+// peer-dead verdict.
+func (t *TCPMesh) redial(nd *meshNode, peer int) {
+	o := t.opts.Stall
+	for attempt := 1; attempt <= o.MaxReconnect; attempt++ {
+		timer := time.NewTimer(o.backoff(nd.id, peer, attempt))
+		select {
+		case <-t.done:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if o.Counters != nil {
+			o.Counters.Retries.Add(1)
+		}
+		c, err := net.DialTimeout("tcp", t.addrs[peer], time.Second)
+		if err != nil {
+			continue
+		}
+		var hello [binary.MaxVarintLen64]byte
+		if _, err := c.Write(hello[:binary.PutUvarint(hello[:], uint64(nd.id))]); err != nil {
+			c.Close()
+			continue
+		}
+		if !t.track(c) {
+			return
+		}
+		nd.mu.Lock()
+		nd.conns[peer] = c
+		nd.reconnecting[peer] = false
+		nd.mu.Unlock()
+		go t.readLoop(nd, peer, c)
+		return
+	}
+	t.markNodeDead(peer)
+}
+
+// awaitReplacement is the accept side of stream recovery: it gives the
+// dialer its full backoff budget (plus dial slack) to show up with a
+// replacement stream, then issues the peer-dead verdict if none did.
+func (t *TCPMesh) awaitReplacement(nd *meshNode, peer int) {
+	o := t.opts.Stall
+	budget := time.Duration(o.MaxReconnect)*(o.ReconnectMax+o.ReconnectMax/2+time.Second) + time.Second
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case <-t.done:
+		return
+	case <-timer.C:
+	}
+	nd.mu.Lock()
+	gone := nd.reconnecting[peer]
+	nd.mu.Unlock()
+	if gone {
+		t.markNodeDead(peer)
 	}
 }
 
@@ -310,17 +500,51 @@ func (r oneByteReader) ReadByte() (byte, error) {
 type meshNode struct {
 	t      *TCPMesh
 	id     int
-	lo, hi int            // hosted processes [lo, hi)
-	boxes  []*roundBuffer // per hosted process
+	lo, hi int       // hosted processes [lo, hi)
+	boxes  []mailbox // per hosted process (roundBuffer, or lossyBuffer in chaos mode)
 
-	mu      sync.Mutex
-	cond    sync.Cond
-	pending [window][]*refBuf // [r%window][local sender] round contributions
-	pcount  [window]int
-	conns   []net.Conn // by peer node id; writes owned by the writer loop
+	mu           sync.Mutex
+	cond         sync.Cond
+	pending      [window][]*refBuf // [r%window][local sender] round contributions
+	pcount       [window]int
+	conns        []net.Conn // by peer node id; writes owned by the writer loop
+	deadFrom     []int      // per local sender: first dead round (0 = alive), lazily allocated
+	reconnecting []bool     // per peer node: stream down, replacement pending
 }
 
 func (nd *meshNode) localN() int { return nd.hi - nd.lo }
+
+// liveTargetLocked is the number of round-r contributions the writer
+// loop must wait for: the hosted senders not yet declared dead for r.
+func (nd *meshNode) liveTargetLocked(r int) int {
+	target := nd.localN()
+	if nd.deadFrom != nil {
+		for _, f := range nd.deadFrom {
+			if f != 0 && f <= r {
+				target--
+			}
+		}
+	}
+	return target
+}
+
+// markDeadLocal records a hosted sender's death for the writer loop: the
+// writer stops waiting for its contributions from fromRound onward and
+// ships its frame slots as drop tombstones.
+func (nd *meshNode) markDeadLocal(local, fromRound int) {
+	if fromRound < 1 {
+		fromRound = 1
+	}
+	nd.mu.Lock()
+	if nd.deadFrom == nil {
+		nd.deadFrom = make([]int, nd.localN())
+	}
+	if nd.deadFrom[local] == 0 || nd.deadFrom[local] > fromRound {
+		nd.deadFrom[local] = fromRound
+		nd.cond.Broadcast()
+	}
+	nd.mu.Unlock()
+}
 
 // contribute hands a local sender's round-r payload to the writer loop.
 func (nd *meshNode) contribute(local, r int, rb *refBuf) error {
@@ -331,7 +555,7 @@ func (nd *meshNode) contribute(local, r int, rb *refBuf) error {
 	}
 	nd.pending[r%window][local] = rb
 	nd.pcount[r%window]++
-	if nd.pcount[r%window] == nd.localN() {
+	if nd.pcount[r%window] >= nd.liveTargetLocked(r) {
 		nd.cond.Broadcast()
 	}
 	nd.mu.Unlock()
@@ -339,10 +563,12 @@ func (nd *meshNode) contribute(local, r int, rb *refBuf) error {
 }
 
 // writeLoop is the node's single outbound event loop: for each round in
-// order, once every hosted process has contributed its payload, it
+// order, once every live hosted process has contributed its payload, it
 // coalesces them into one v2 frame per peer node and writes each with a
 // single writev. Send-side drops (the Policy) are folded into the
-// frame's bitmap here.
+// frame's bitmap here; a dead local sender's slots ship as bitmap
+// tombstones (its contribution is never waited for), and in chaos mode
+// a broken stream turns the frame into loss instead of failing the run.
 func (nd *meshNode) writeLoop() {
 	t := nd.t
 	_, perfect := t.pol.(Perfect)
@@ -356,12 +582,23 @@ func (nd *meshNode) writeLoop() {
 	var vecs net.Buffers
 	for r := 1; ; r++ {
 		nd.mu.Lock()
-		for nd.pcount[r%window] < nd.localN() {
-			if closed(t.done) {
+		for {
+			target := nd.liveTargetLocked(r)
+			if target == 0 {
+				// The whole node is dead. Its receivers' slots are already
+				// pre-filled mesh-wide by the death verdict; nothing left
+				// to ship, ever.
 				nd.mu.Unlock()
 				return
 			}
+			if nd.pcount[r%window] >= target || closed(t.done) {
+				break
+			}
 			nd.cond.Wait()
+		}
+		if closed(t.done) {
+			nd.mu.Unlock()
+			return
 		}
 		copy(bufs, nd.pending[r%window])
 		for i := range nd.pending[r%window] {
@@ -375,6 +612,15 @@ func (nd *meshNode) writeLoop() {
 			if j == nd.id {
 				continue
 			}
+			conn := nd.conns[j]
+			if t.stall {
+				nd.mu.Lock()
+				conn = nd.conns[j]
+				nd.mu.Unlock()
+				if conn == nil {
+					continue // stream down: this round's frame is loss
+				}
+			}
 			peerLo, peerHi := t.nodeLo(j), t.nodeLo(j+1)
 			rcv := peerHi - peerLo
 			body = binary.AppendUvarint(body[:0], uint64(r))
@@ -387,6 +633,9 @@ func (nd *meshNode) writeLoop() {
 			}
 			bitmap := body[bitOff:]
 			for si := 0; si < nd.localN(); si++ {
+				if bufs[si] == nil {
+					continue // dead sender: all its bits stay tombstones
+				}
 				any := false
 				for qi := 0; qi < rcv; qi++ {
 					if perfect || t.pol.Deliver(r, nd.lo+si, peerLo+qi) {
@@ -404,13 +653,19 @@ func (nd *meshNode) writeLoop() {
 			n := binary.PutUvarint(hdr[:], uint64(len(body)))
 			vecsArr[0], vecsArr[1] = hdr[:n], body
 			vecs = net.Buffers(vecsArr[:])
-			if _, err := vecs.WriteTo(nd.conns[j]); err != nil {
-				nd.failLocal(fmt.Errorf("transport: node %d write to node %d: %w", nd.id, j, err))
-				failed = true
+			if _, err := vecs.WriteTo(conn); err != nil {
+				if t.stall {
+					t.streamBroken(nd, j, conn)
+				} else {
+					nd.failLocal(fmt.Errorf("transport: node %d write to node %d: %w", nd.id, j, err))
+					failed = true
+				}
 			}
 		}
 		for _, rb := range bufs {
-			rb.release()
+			if rb != nil {
+				rb.release()
+			}
 		}
 		if failed || closed(t.done) {
 			return
@@ -433,7 +688,11 @@ func (nd *meshNode) failLocal(err error) {
 // readLoop is the inbound half of one node link: it parses the peer's
 // coalesced round frames and deposits each sender's payload (shared,
 // reference-counted) or drop tombstone straight into the hosted
-// receivers' mailboxes. A clean EOF is the normal end of a peer's run.
+// receivers' mailboxes. A clean EOF is the normal end of a peer's run
+// in reliable mode; in chaos mode any stream end while the transport is
+// live routes to streamBroken for reconnect, and forward round gaps are
+// tolerated (the frames a dead stream swallowed are loss, closed by the
+// receive deadline).
 func (t *TCPMesh) readLoop(nd *meshNode, peer int, c net.Conn) {
 	peerLo, peerHi := t.nodeLo(peer), t.nodeLo(peer+1)
 	snd, rcv := peerHi-peerLo, nd.localN()
@@ -443,12 +702,18 @@ func (t *TCPMesh) readLoop(nd *meshNode, peer int, c net.Conn) {
 	var body []byte
 	prevRound := 0
 	fail := func(err error) {
+		if t.stall {
+			// Chaos mode: a broken or corrupt stream is a recoverable
+			// transport event, not a run failure.
+			t.streamBroken(nd, peer, c)
+			return
+		}
 		nd.failLocal(fmt.Errorf("transport: node %d read from node %d: %w", nd.id, peer, err))
 	}
 	for {
 		flen, err := binary.ReadUvarint(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
+			if t.stall || !errors.Is(err, io.EOF) {
 				fail(err)
 			}
 			return
@@ -466,7 +731,11 @@ func (t *TCPMesh) readLoop(nd *meshNode, peer int, c net.Conn) {
 			return
 		}
 		round64, k := binary.Uvarint(body)
-		if k <= 0 || int(round64) != prevRound+1 {
+		badRound := k <= 0 || int(round64) != prevRound+1
+		if badRound && t.stall && k > 0 && int(round64) > prevRound {
+			badRound = false // forward gap: the missing rounds were lost with the old stream
+		}
+		if badRound {
 			fail(fmt.Errorf("round %d frame after round %d", round64, prevRound))
 			return
 		}
@@ -535,6 +804,7 @@ type meshEndpoint struct {
 	nd    *meshNode
 	self  int
 	drops []bool
+	stall *stallDetector // nil outside chaos mode
 }
 
 // Self implements Endpoint.
@@ -583,12 +853,15 @@ func (ep *meshEndpoint) Broadcast(r int, payload []byte) error {
 	return nil
 }
 
-// Gather implements Endpoint.
+// Gather implements Endpoint. In chaos mode the await closes by
+// deadline+grace and the missed-sender list feeds the stall detector.
 func (ep *meshEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
-	recv, err := ep.nd.boxes[ep.self-ep.nd.lo].await(r, into)
+	o := ep.nd.t.opts.Stall
+	recv, missed, err := ep.nd.boxes[ep.self-ep.nd.lo].await(r, into, o.RoundTimeout, o.Grace)
 	if err != nil {
 		return nil, err
 	}
+	ep.stall.observe(r, missed)
 	if err := applyDelays(ep.nd.t.pol, r, ep.self, recv, ep.nd.t.done); err != nil {
 		return nil, err
 	}

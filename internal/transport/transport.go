@@ -108,3 +108,21 @@ type Transport interface {
 	// Close tears the transport down and unblocks every endpoint.
 	Close() error
 }
+
+// DeadMarker is implemented by transports that support the chaos
+// layer's death verdicts: MarkDead(p, fromRound) declares that process
+// p sends nothing from round fromRound onward (fromRound <= 1 means
+// from the beginning). Every receiver's missing deliveries from p are
+// converted to permanent nil tombstones — pending rounds close by
+// count, deadline-closed rounds stop waiting out the silence — and any
+// frame from p still in flight is discarded. The verdict is terminal:
+// there is no MarkAlive.
+//
+// Two callers exist: the runtime's crash injector (a planned crash
+// announces itself, round-exactly, the way a real crashed OS process is
+// announced by its supervisor) and the transports' own stall detectors
+// (an unannounced crash is inferred from consecutive deadline-closed
+// rounds; see StallOpts).
+type DeadMarker interface {
+	MarkDead(p, fromRound int)
+}

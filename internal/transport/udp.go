@@ -41,9 +41,10 @@ type UDPMesh struct {
 	addrs []netip.AddrPort
 	done  chan struct{}
 
-	mu      sync.Mutex
-	claimed []bool
-	closed  bool
+	mu        sync.Mutex
+	claimed   []bool
+	closed    bool
+	deadNodes []bool
 }
 
 // UDPOpts tunes a UDP mesh. The zero value means: 1400-byte datagrams,
@@ -82,6 +83,18 @@ type UDPOpts struct {
 	// leaves no tombstone — the receiver must notice the absence — so
 	// tests can exercise the deadline closure path deterministically.
 	DropDatagram func(r, from, to, frag int) bool
+
+	// DeadAfter enables the stall detector: a sender missing from this
+	// many consecutive deadline-closed rounds at one receiver is declared
+	// dead — its whole node, since an OS process dying takes every
+	// co-located participant with it — and its absences stop costing the
+	// deadline. 0 disables detection (every silent round burns the full
+	// RoundTimeout, but nothing is ever terminal), which is the right
+	// setting when loss is expected to be transient.
+	DeadAfter int
+
+	// Counters, when non-nil, receives stall and death events.
+	Counters *StallCounters
 }
 
 func (o *UDPOpts) withDefaults() UDPOpts {
@@ -186,6 +199,50 @@ func NewUDPMeshLoopback(n, nodes int, pol Policy, opts UDPOpts) (*UDPMesh, error
 	return t, nil
 }
 
+// MarkDead implements DeadMarker: process p's missing deliveries from
+// round fromRound onward become permanent nil tombstones at every
+// hosted mailbox of every node — deadline-closed rounds stop waiting
+// out its silence — and p's own node's writer stops waiting for its
+// contributions.
+func (t *UDPMesh) MarkDead(p, fromRound int) {
+	if p < 0 || p >= t.n {
+		return
+	}
+	for _, nd := range t.nodes {
+		for _, b := range nd.boxes {
+			b.markDead(p, fromRound)
+		}
+	}
+	nd := t.nodes[t.nodeOf(p)]
+	nd.markDeadLocal(p-nd.lo, fromRound)
+}
+
+// markNodeDead is the stall detector's terminal verdict: every process
+// hosted by the peer node is declared dead from now on. Idempotent.
+func (t *UDPMesh) markNodeDead(peer int) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if t.deadNodes == nil {
+		t.deadNodes = make([]bool, t.m)
+	}
+	if t.deadNodes[peer] {
+		t.mu.Unlock()
+		return
+	}
+	t.deadNodes[peer] = true
+	t.mu.Unlock()
+	lo, hi := t.nodeLo(peer), t.nodeLo(peer+1)
+	if c := t.opts.Counters; c != nil {
+		c.Dead.Add(int64(hi - lo))
+	}
+	for p := lo; p < hi; p++ {
+		t.MarkDead(p, 1)
+	}
+}
+
 // nodeLo returns the first process hosted by node i (the same
 // contiguous balanced partition as the TCP mesh).
 func (t *UDPMesh) nodeLo(i int) int { return i * t.n / t.m }
@@ -224,7 +281,11 @@ func (t *UDPMesh) Endpoint(self int) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: endpoint %d already claimed", self)
 	}
 	t.claimed[self] = true
-	return &udpEndpoint{nd: t.nodes[t.nodeOf(self)], self: self, drops: make([]bool, t.n)}, nil
+	ep := &udpEndpoint{nd: t.nodes[t.nodeOf(self)], self: self, drops: make([]bool, t.n)}
+	ep.stall = newStallDetector(t.n, t.opts.DeadAfter, t.opts.Counters, func(q int) {
+		t.markNodeDead(t.nodeOf(q))
+	})
+	return ep, nil
 }
 
 // Close implements Transport: it tears down sockets and loops and wakes
@@ -263,10 +324,11 @@ type udpNode struct {
 	boxes  []*lossyBuffer
 	conn   *net.UDPConn
 
-	mu      sync.Mutex
-	cond    sync.Cond
-	pending [window][]*refBuf // [r%window][local sender] round contributions
-	pcount  [window]int
+	mu       sync.Mutex
+	cond     sync.Cond
+	pending  [window][]*refBuf // [r%window][local sender] round contributions
+	pcount   [window]int
+	deadFrom []int // per local sender: first dead round (0 = alive), lazily allocated
 
 	sender    udpSender   // writer-loop owned
 	rcv       udpReceiver // reader-loop owned
@@ -295,6 +357,38 @@ func (nd *udpNode) initIO() error {
 	return nd.rcv.init(nd.conn, t.opts.MaxDatagram)
 }
 
+// liveTargetLocked is the number of round-r contributions the writer
+// loop must wait for: the hosted senders not yet declared dead for r.
+func (nd *udpNode) liveTargetLocked(r int) int {
+	target := nd.localN()
+	if nd.deadFrom != nil {
+		for _, f := range nd.deadFrom {
+			if f != 0 && f <= r {
+				target--
+			}
+		}
+	}
+	return target
+}
+
+// markDeadLocal records a hosted sender's death for the writer loop: the
+// writer stops waiting for its contributions from fromRound onward and
+// ships its frame slots as drop tombstones.
+func (nd *udpNode) markDeadLocal(local, fromRound int) {
+	if fromRound < 1 {
+		fromRound = 1
+	}
+	nd.mu.Lock()
+	if nd.deadFrom == nil {
+		nd.deadFrom = make([]int, nd.localN())
+	}
+	if nd.deadFrom[local] == 0 || nd.deadFrom[local] > fromRound {
+		nd.deadFrom[local] = fromRound
+		nd.cond.Broadcast()
+	}
+	nd.mu.Unlock()
+}
+
 // contribute hands a local sender's round-r payload to the writer loop.
 func (nd *udpNode) contribute(local, r int, rb *refBuf) error {
 	nd.mu.Lock()
@@ -304,7 +398,7 @@ func (nd *udpNode) contribute(local, r int, rb *refBuf) error {
 	}
 	nd.pending[r%window][local] = rb
 	nd.pcount[r%window]++
-	if nd.pcount[r%window] == nd.localN() {
+	if nd.pcount[r%window] >= nd.liveTargetLocked(r) {
 		nd.cond.Broadcast()
 	}
 	nd.mu.Unlock()
@@ -324,12 +418,22 @@ func (nd *udpNode) writeLoop() {
 	var body []byte
 	for r := 1; ; r++ {
 		nd.mu.Lock()
-		for nd.pcount[r%window] < nd.localN() {
-			if closed(t.done) {
+		for {
+			target := nd.liveTargetLocked(r)
+			if target == 0 {
+				// The whole node is dead; its receivers' slots are already
+				// pre-filled mesh-wide. Nothing left to ship, ever.
 				nd.mu.Unlock()
 				return
 			}
+			if nd.pcount[r%window] >= target || closed(t.done) {
+				break
+			}
 			nd.cond.Wait()
+		}
+		if closed(t.done) {
+			nd.mu.Unlock()
+			return
 		}
 		copy(bufs, nd.pending[r%window])
 		for i := range nd.pending[r%window] {
@@ -347,7 +451,9 @@ func (nd *udpNode) writeLoop() {
 		}
 		err := nd.sender.flush()
 		for _, rb := range bufs {
-			rb.release()
+			if rb != nil {
+				rb.release()
+			}
 		}
 		if closed(t.done) {
 			return
@@ -376,6 +482,9 @@ func (nd *udpNode) appendFrameBody(body []byte, r, j int, bufs []*refBuf, perfec
 	}
 	bitmap := body[bitOff:]
 	for si := 0; si < nd.localN(); si++ {
+		if bufs[si] == nil {
+			continue // dead sender: all its bits stay tombstones
+		}
 		any := false
 		for qi := 0; qi < rcv; qi++ {
 			if perfect || t.pol.Deliver(r, nd.lo+si, peerLo+qi) {
@@ -589,6 +698,7 @@ type udpEndpoint struct {
 	nd    *udpNode
 	self  int
 	drops []bool
+	stall *stallDetector // nil unless DeadAfter > 0
 }
 
 // Self implements Endpoint.
@@ -641,10 +751,11 @@ func (ep *udpEndpoint) Broadcast(r int, payload []byte) error {
 // attached, then applies receive-side Policy delays.
 func (ep *udpEndpoint) Gather(r int, into [][]byte) ([][]byte, error) {
 	t := ep.nd.t
-	recv, err := ep.nd.boxes[ep.self-ep.nd.lo].await(r, into, t.opts.RoundTimeout, t.opts.Grace)
+	recv, missed, err := ep.nd.boxes[ep.self-ep.nd.lo].await(r, into, t.opts.RoundTimeout, t.opts.Grace)
 	if err != nil {
 		return nil, err
 	}
+	ep.stall.observe(r, missed)
 	if t.opts.Meter != nil {
 		t.opts.Meter.Record(r, ep.self, recv)
 	}
