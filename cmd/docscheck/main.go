@@ -1,24 +1,33 @@
-// Command docscheck is the CI documentation gate: it fails (exit 1) when
-// any Go package under internal/ lacks a godoc package comment. The
-// reproduction's packages double as the map of the paper's structure
-// (see DESIGN.md §1), so an uncommented package is a hole in that map.
+// Command docscheck is the CI documentation-and-contract gate: it fails
+// (exit 1) when any Go package under internal/ lacks a godoc package
+// comment, or when a registered algorithm family declares a codec fuzz
+// target that does not exist. The reproduction's packages double as the
+// map of the paper's structure (see DESIGN.md §1), so an uncommented
+// package is a hole in that map — and a family whose hostile-input fuzz
+// target has gone missing is a codec nobody is hardening.
 //
 // Usage:
 //
 //	go run ./cmd/docscheck [dir]
 //
 // dir defaults to internal; every directory below it containing
-// non-test .go files is checked.
+// non-test .go files is checked. The fuzz-target gate always runs
+// against the registry (internal/algo), resolving each family's
+// declared "dir:FuzzName" to a func FuzzName(f *testing.F) in that
+// directory's _test.go files.
 package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"kset/internal/algo"
 )
 
 func main() {
@@ -54,7 +63,55 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: all packages under %s have package comments\n", root)
+	var broken []string
+	for _, name := range algo.Names() {
+		if problem := checkFuzzTarget(name, algo.MustLookup(name).FuzzTarget); problem != "" {
+			broken = append(broken, problem)
+		}
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: algorithm families with broken fuzz targets:\n")
+		for _, p := range broken {
+			fmt.Fprintf(os.Stderr, "  %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: all packages under %s have package comments; all %d registered algorithm fuzz targets exist\n",
+		root, len(algo.Names()))
+}
+
+// checkFuzzTarget resolves one family's "dir:FuzzName" declaration and
+// returns a human-readable problem, or "" when the target exists.
+func checkFuzzTarget(family, target string) string {
+	dir, fuzzName, ok := strings.Cut(target, ":")
+	if !ok || dir == "" || fuzzName == "" {
+		return fmt.Sprintf("%s: malformed fuzz target %q (want dir:FuzzName)", family, target)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Sprintf("%s: fuzz target dir %s: %v", family, dir, err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return fmt.Sprintf("%s: parse %s: %v", family, filepath.Join(dir, name), err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || fn.Name.Name != fuzzName {
+				continue
+			}
+			if len(fn.Type.Params.List) == 1 {
+				return "" // found func FuzzName(f *testing.F)
+			}
+		}
+	}
+	return fmt.Sprintf("%s: fuzz target %s not found: no func %s in %s/*_test.go", family, target, fuzzName, dir)
 }
 
 // packageHasComment parses the non-test .go files of dir and reports

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckFuzzTarget(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nimport \"testing\"\n\nfunc FuzzThing(f *testing.F) {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "thing_test.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if p := checkFuzzTarget("fam", dir+":FuzzThing"); p != "" {
+		t.Errorf("existing target flagged: %s", p)
+	}
+	for _, tc := range []struct{ target, want string }{
+		{dir + ":FuzzMissing", "not found"},
+		{"no-such-dir:FuzzThing", "no-such-dir"},
+		{"malformed", "malformed"},
+	} {
+		if p := checkFuzzTarget("fam", tc.target); !strings.Contains(p, tc.want) {
+			t.Errorf("target %q: problem %q does not mention %q", tc.target, p, tc.want)
+		}
+	}
+}
+
+// TestRegisteredFuzzTargetsExist runs the real gate against the real
+// registry from the module root — the same check CI executes.
+func TestRegisteredFuzzTargetsExist(t *testing.T) {
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir("cmd/docscheck")
+	for _, tc := range []struct{ family, target string }{
+		{"kset", "internal/wire:FuzzDecode"},
+		{"approx", "internal/approx:FuzzDecode"},
+	} {
+		if p := checkFuzzTarget(tc.family, tc.target); p != "" {
+			t.Errorf("%s", p)
+		}
+	}
+}

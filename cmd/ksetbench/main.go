@@ -121,6 +121,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return experiments.E20LargeN(cfg)
 		}},
+		{"E23", func() (*experiments.Result, error) { return experiments.E23ApproxConvergence(cfg) }},
 	}
 
 	suite := jsonSuite{
@@ -176,7 +177,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 	if ran == 0 {
-		return fmt.Errorf("-only %s matches no experiment (have E1..E16, E20)", *only)
+		return fmt.Errorf("-only %s matches no experiment (have E1..E16, E20, E23)", *only)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)

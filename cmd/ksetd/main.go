@@ -1,9 +1,14 @@
 // Command ksetd is the long-running agreement service: it serves the
 // batched session-submission API of internal/service over HTTP,
-// executing each k-set-agreement session on the distributed runtime
-// (goroutine-per-process over an in-proc or TCP transport) with a
+// executing each agreement session on the distributed runtime
+// (goroutine-per-process over an in-proc, TCP, or UDP transport) with a
 // bounded worker pool, and exposing /healthz and Prometheus-style
-// /metrics.
+// /metrics (per-algorithm breakdowns under ksetd_algorithm_*).
+//
+// Sessions pick their algorithm family by name ("algorithm" in the
+// session spec): "kset" — Algorithm 1 of the source paper, the default
+// — or "approx" — approximate agreement on a path or cycle graph.
+// Unknown names get a 400 listing the registered families.
 //
 // Usage:
 //

@@ -694,6 +694,7 @@ func All(cfg Config) ([]*Result, error) {
 		// The suite runs E20's CI rung; the full n = 1024 ladder is
 		// `ksetbench -only E20` (see e20SuiteSizes).
 		func() (*Result, error) { return E20Suite(cfg) },
+		func() (*Result, error) { return E23ApproxConvergence(cfg) },
 	}
 	for _, step := range steps {
 		r, err := step()

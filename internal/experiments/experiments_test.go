@@ -132,7 +132,7 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 17 {
+	if len(results) != 18 {
 		t.Fatalf("suite size = %d", len(results))
 	}
 	for _, r := range results {

@@ -4,68 +4,24 @@ import (
 	"fmt"
 	"sync"
 
-	"kset/internal/core"
-	"kset/internal/wire"
+	"kset/internal/algo"
 )
 
-// Codec translates between an algorithm's in-memory messages and the
-// byte payloads a transport carries. Codec values are shared by every
-// process goroutine and must be stateless; per-goroutine decode state
-// lives in the Decoder each goroutine obtains from NewDecoder.
-type Codec interface {
-	// Encode appends msg's wire form to dst and returns the extended
-	// buffer (the runtime reuses dst across rounds).
-	Encode(dst []byte, msg any) ([]byte, error)
-	// NewDecoder returns a decoder for one process goroutine on an
-	// n-process transport.
-	NewDecoder(n int) Decoder
-}
-
-// Decoder decodes one sender's payloads. The returned message is valid
-// only until the next Decode call for the same sender — decoders reuse
-// per-sender scratch, mirroring the round model's "messages are valid
-// for the duration of the Transition call" contract.
-type Decoder interface {
-	Decode(from int, payload []byte) (any, error)
-}
+// Codec and Decoder are the registry's interfaces (internal/algo owns
+// the contract; see algo.Codec for the shared-statelessness and
+// decode-into-scratch requirements). The runtime aliases them so
+// transport plumbing keeps reading naturally, and resolves a nil Codec
+// through the algorithm registry instead of hardwiring the k-set wire
+// format.
+type (
+	Codec   = algo.Codec
+	Decoder = algo.Decoder
+)
 
 // WireCodec carries Algorithm 1 messages in the canonical internal/wire
-// encoding — the same bytes the E5 bit-complexity experiment meters.
-type WireCodec struct{}
-
-// Encode implements Codec; msg must be a *core.Message (what
-// core.Process.Send returns).
-func (WireCodec) Encode(dst []byte, msg any) ([]byte, error) {
-	m, ok := msg.(*core.Message)
-	if !ok {
-		return nil, fmt.Errorf("runtime: WireCodec got %T, want *core.Message", msg)
-	}
-	return wire.AppendEncode(dst, *m), nil
-}
-
-// NewDecoder implements Codec.
-func (WireCodec) NewDecoder(n int) Decoder {
-	return &wireDecoder{msgs: make([]core.Message, n)}
-}
-
-// wireDecoder keeps one scratch message per sender, so steady-state
-// decoding reuses graph storage (wire.DecodeInto) instead of allocating
-// a fresh Θ(n²) graph per message per round.
-type wireDecoder struct {
-	msgs []core.Message
-}
-
-// Decode implements Decoder.
-func (d *wireDecoder) Decode(from int, payload []byte) (any, error) {
-	if from < 0 || from >= len(d.msgs) {
-		return nil, fmt.Errorf("runtime: decode from out-of-range sender %d", from)
-	}
-	m := &d.msgs[from]
-	if err := wire.DecodeInto(payload, m); err != nil {
-		return nil, fmt.Errorf("runtime: decode message from p%d: %w", from+1, err)
-	}
-	return m, nil
-}
+// encoding — the same bytes the E5 bit-complexity experiment meters. It
+// is the registry's kset codec under its historical runtime name.
+type WireCodec = algo.KSetCodec
 
 // decodeShare deduplicates decoding across the processes of one run.
 // Both transports deliver one shared payload buffer per (sender, round)

@@ -9,16 +9,25 @@ import (
 	"kset/internal/core"
 	"kset/internal/rounds"
 	"kset/internal/sim"
+	"kset/internal/transport"
 )
 
 // DiffOpts configures one differential replay.
 type DiffOpts struct {
-	// TCP replays over the TCP loopback transport instead of the
-	// in-process mailbox transport.
+	// Kind selects the replay transport: "inproc" (default), "tcp", or
+	// "udp". The UDP replay uses the service's generous loopback timing
+	// (250ms round deadline, 2ms grace) so a quiet loopback is
+	// effectively lossless and the comparison stays bit-exact.
+	Kind string
+	// Nodes groups the processes onto this many mesh nodes for the
+	// socket transports (0 = one per process); see RunnerOpts.Nodes.
+	// Frame coalescing across co-located processes must not change a
+	// single decision bit.
+	Nodes int
+
+	// TCP is the legacy spelling of Kind: "tcp".
 	TCP bool
-	// TCPNodes groups the processes onto this many TCP mesh nodes
-	// (0 = one per process); see RunnerOpts.TCPNodes. Frame coalescing
-	// across co-located processes must not change a single decision bit.
+	// TCPNodes is the legacy spelling of Nodes.
 	TCPNodes int
 	// Jitter/JitterSeed inject deterministic per-link receive latency,
 	// to prove timing skew cannot leak into decisions.
@@ -37,27 +46,34 @@ func Diff(spec sim.Spec, opts DiffOpts) error {
 	if spec.Adversary == nil {
 		return fmt.Errorf("runtime: Diff with nil adversary")
 	}
-	n := spec.Adversary.N()
-	maxRounds := spec.MaxRounds
-	if maxRounds == 0 {
-		// Replicate sim.Execute's automatic bound against the original
-		// adversary, before materialization can change the
-		// StabilizationRound answer.
-		if s, ok := spec.Adversary.(rounds.Stabilizer); ok {
-			maxRounds = s.StabilizationRound() + 2*n + 5
-		} else {
-			maxRounds = 12 * n
-		}
+	// Resolve against the original adversary, before materialization can
+	// change the StabilizationRound answer: both the family's automatic
+	// round bound and its normalized options (approx's decide round) key
+	// off the genuine stabilization data. Resolve is idempotent, so the
+	// Execute calls below re-resolving the spec is a no-op.
+	if err := spec.Resolve(); err != nil {
+		return fmt.Errorf("runtime: Diff resolve: %w", err)
 	}
-	spec.Adversary = adversary.MaterializeRun(spec.Adversary, maxRounds)
-	spec.MaxRounds = maxRounds
+	spec.Adversary = adversary.MaterializeRun(spec.Adversary, spec.MaxRounds)
 
 	want, err := sim.Execute(spec)
 	if err != nil {
 		return fmt.Errorf("runtime: Diff reference execution: %w", err)
 	}
 	rt := spec
-	rt.Runner = NewRunner(RunnerOpts{TCP: opts.TCP, TCPNodes: opts.TCPNodes, Jitter: opts.Jitter, JitterSeed: opts.JitterSeed})
+	ro := RunnerOpts{
+		Kind:       opts.Kind,
+		Nodes:      opts.Nodes,
+		TCP:        opts.TCP,
+		TCPNodes:   opts.TCPNodes,
+		Jitter:     opts.Jitter,
+		JitterSeed: opts.JitterSeed,
+		Algorithm:  spec.Algorithm,
+	}
+	if ro.kind() == "udp" {
+		ro.UDP = transport.UDPOpts{RoundTimeout: 250 * time.Millisecond, Grace: 2 * time.Millisecond}
+	}
+	rt.Runner = NewRunner(ro)
 	got, err := sim.Execute(rt)
 	if err != nil {
 		return fmt.Errorf("runtime: Diff runtime execution: %w", err)

@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"kset/internal/adversary"
+	"kset/internal/algo"
 	"kset/internal/rounds"
 	"kset/internal/transport"
 )
@@ -365,8 +366,13 @@ type RunnerOpts struct {
 	// TCPNodes is the legacy spelling of Nodes.
 	TCPNodes int
 
-	// Codec encodes the algorithm's messages; nil means WireCodec
-	// (Algorithm 1 over internal/wire).
+	// Algorithm names the registered family whose Codec carries the
+	// messages when Codec is nil; "" resolves to the registry default
+	// (kset). An explicit Codec always wins.
+	Algorithm string
+	// Codec encodes the algorithm's messages; nil resolves the
+	// Algorithm name through the registry (default: WireCodec,
+	// Algorithm 1 over internal/wire).
 	Codec Codec
 	// Jitter, when positive, layers deterministic per-link receive
 	// latency in [0, Jitter) on top of the schedule's drops, seeded by
@@ -429,6 +435,13 @@ func NewRunner(opts RunnerOpts) func(rounds.Config) (*rounds.Result, error) {
 	return func(cfg rounds.Config) (*rounds.Result, error) {
 		if _, err := cfg.Validate(); err != nil {
 			return nil, err
+		}
+		if opts.Codec == nil {
+			alg, err := algo.Lookup(opts.Algorithm)
+			if err != nil {
+				return nil, err
+			}
+			opts.Codec = alg.Codec
 		}
 		adv := adversary.MaterializeRun(cfg.Adversary, cfg.MaxRounds)
 		cfg.Adversary = adv

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"kset/internal/algo"
 )
 
 // BatchRequest is the body of POST /v1/sessions.
@@ -74,6 +76,18 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(req.Sessions) > MaxBatch {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds MaxBatch %d", len(req.Sessions), MaxBatch))
 		return
+	}
+	// An unknown algorithm name is a malformed request, not a rejected
+	// session: answer 400 before submitting anything, with the
+	// valid-name list so the client can fix its spelling.
+	for i, spec := range req.Sessions {
+		if _, err := algo.Lookup(spec.Algorithm); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":            fmt.Sprintf("sessions[%d]: unknown algorithm %q", i, spec.Algorithm),
+				"valid_algorithms": algo.Names(),
+			})
+			return
+		}
 	}
 	resp := BatchResponse{Results: s.Submit(req.Sessions)}
 	shed := false

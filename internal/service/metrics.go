@@ -3,14 +3,23 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"kset/internal/algo"
 )
 
 // metrics are the service's atomically-updated counters, rendered in
 // the Prometheus text exposition format by WriteMetrics. Hand-rolled on
 // purpose: the repo carries no external dependencies, and counters +
 // gauges in text format are all a scraper needs.
+//
+// The unlabeled ksetd_* names are load-bearing: ksetload and the e2e
+// harnesses parse them, so they keep their exact spelling and
+// aggregate across every algorithm family. The per-family breakdown is
+// additive, under labeled ksetd_algorithm_* names.
 type metrics struct {
 	submitted        atomic.Int64
 	rejected         atomic.Int64
@@ -22,6 +31,51 @@ type metrics struct {
 	roundsTotal      atomic.Int64
 	decisionsTotal   atomic.Int64
 	kboundViolations atomic.Int64
+
+	algoMu     sync.Mutex
+	algoBucket map[string]*algoMetrics
+}
+
+// algoMetrics is one algorithm family's labeled counter set.
+type algoMetrics struct {
+	completed atomic.Int64
+	failed    atomic.Int64
+	crashed   atomic.Int64
+	rounds    atomic.Int64
+	decisions atomic.Int64
+}
+
+// algoFamily returns (creating on first use) the labeled counters of
+// one algorithm family.
+func (m *metrics) algoFamily(name string) *algoMetrics {
+	if name == "" {
+		name = algo.Default
+	}
+	m.algoMu.Lock()
+	defer m.algoMu.Unlock()
+	if m.algoBucket == nil {
+		m.algoBucket = make(map[string]*algoMetrics)
+	}
+	am := m.algoBucket[name]
+	if am == nil {
+		am = &algoMetrics{}
+		m.algoBucket[name] = am
+	}
+	return am
+}
+
+// algoFamilies snapshots the labeled counter map in sorted name order.
+func (m *metrics) algoFamilies() ([]string, map[string]*algoMetrics) {
+	m.algoMu.Lock()
+	defer m.algoMu.Unlock()
+	names := make([]string, 0, len(m.algoBucket))
+	snap := make(map[string]*algoMetrics, len(m.algoBucket))
+	for name, am := range m.algoBucket {
+		names = append(names, name)
+		snap[name] = am
+	}
+	sort.Strings(names)
+	return names, snap
 }
 
 // WriteMetrics renders the /metrics payload.
@@ -52,4 +106,24 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	s.mu.Unlock()
 	gauge("ksetd_sessions_retained", "Sessions held in the registry.", int64(retained))
 	gauge("ksetd_uptime_seconds", "Seconds since the service started.", int64(time.Since(s.start).Seconds()))
+
+	names, fams := s.met.algoFamilies()
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP ksetd_algorithm_sessions_total Finished sessions by algorithm family and terminal status.\n# TYPE ksetd_algorithm_sessions_total counter\n")
+	for _, name := range names {
+		am := fams[name]
+		fmt.Fprintf(w, "ksetd_algorithm_sessions_total{algorithm=%q,status=\"completed\"} %d\n", name, am.completed.Load())
+		fmt.Fprintf(w, "ksetd_algorithm_sessions_total{algorithm=%q,status=\"failed\"} %d\n", name, am.failed.Load())
+		fmt.Fprintf(w, "ksetd_algorithm_sessions_total{algorithm=%q,status=\"crashed\"} %d\n", name, am.crashed.Load())
+	}
+	fmt.Fprintf(w, "# HELP ksetd_algorithm_rounds_total Algorithm rounds executed, by algorithm family.\n# TYPE ksetd_algorithm_rounds_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "ksetd_algorithm_rounds_total{algorithm=%q} %d\n", name, fams[name].rounds.Load())
+	}
+	fmt.Fprintf(w, "# HELP ksetd_algorithm_decisions_total Distinct decision values, by algorithm family.\n# TYPE ksetd_algorithm_decisions_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "ksetd_algorithm_decisions_total{algorithm=%q} %d\n", name, fams[name].decisions.Load())
+	}
 }

@@ -1,13 +1,14 @@
 // Package service implements ksetd's core: a long-running agreement
-// service that multiplexes many concurrent k-set-agreement sessions
-// over the distributed runtime (internal/runtime). Each session is one
-// run of Algorithm 1 over a transport; the service adds the
-// production plumbing the ROADMAP's scaling goal needs — a session
-// registry, a bounded worker pool, a batched submission API with
-// backpressure, and Prometheus-style observability (see http.go and
-// metrics.go for the HTTP surface).
+// service that multiplexes many concurrent agreement sessions over the
+// distributed runtime (internal/runtime). Each session is one run of a
+// registered algorithm family (internal/algo — k-set agreement by
+// default, graph approximate agreement via SessionSpec.Algorithm) over
+// a transport; the service adds the production plumbing the ROADMAP's
+// scaling goal needs — a session registry, a bounded worker pool, a
+// batched submission API with backpressure, and Prometheus-style
+// observability (see http.go and metrics.go for the HTTP surface).
 //
-// By default sessions execute with the repaired decision guard
+// By default k-set sessions execute with the repaired decision guard
 // (core.Options.ConservativeDecide), so every session's decisions are
 // guaranteed to satisfy the k-bound distinct <= MinK; the paper's
 // published guard is available per session via SessionSpec.FaithfulGuard
@@ -22,6 +23,8 @@ import (
 	"time"
 
 	"kset/internal/adversary"
+	"kset/internal/algo"
+	"kset/internal/approx"
 	"kset/internal/core"
 	"kset/internal/graph"
 	"kset/internal/rounds"
@@ -89,11 +92,22 @@ type SessionSpec struct {
 	// Noisy is the length of the additive-noise prefix where the family
 	// supports one.
 	Noisy int `json:"noisy,omitempty"`
-	// Proposals overrides the canonical 1..n proposal vector.
+	// Proposals overrides the canonical 1..n proposal vector. For
+	// algorithm approx, proposals are vertices of the target graph and
+	// must lie in [0, vertices).
 	Proposals []int64 `json:"proposals,omitempty"`
+	// Algorithm selects the registered agreement family: "kset"
+	// (default) or "approx" (graph approximate agreement). Unknown
+	// names are rejected at submission with the valid-name list.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Vertices sizes the approx target graph (algorithm approx only);
+	// 0 defaults to n+1.
+	Vertices int `json:"vertices,omitempty"`
+	// Cycle makes the approx target graph a cycle instead of a path.
+	Cycle bool `json:"cycle,omitempty"`
 	// FaithfulGuard runs the paper's published r >= n decision guard
 	// instead of the repaired conservative one (see E10: the published
-	// guard may exceed the k-bound).
+	// guard may exceed the k-bound). Algorithm kset only.
 	FaithfulGuard bool `json:"faithful_guard,omitempty"`
 	// Transport selects the session's wire layer: "inproc" (default),
 	// "tcp" (loopback sockets; costs n listeners + n² streams), or
@@ -121,7 +135,9 @@ type SessionResult struct {
 	// MinK is the smallest k with Psrcs(k) in the session's run — the
 	// theorem-given bound on |Distinct|.
 	MinK int `json:"min_k"`
-	// KBound reports |Distinct| <= MinK.
+	// KBound reports that the session's agreement-bound oracle held:
+	// |Distinct| <= MinK for kset, pairwise-adjacent decisions for
+	// approx (vacuously true outside the regime approx claims).
 	KBound bool `json:"k_bound"`
 	// AllDecided reports whether every process terminated.
 	AllDecided bool `json:"all_decided"`
@@ -306,10 +322,58 @@ func (s *Service) validate(spec *SessionSpec) error {
 	default:
 		return fmt.Errorf("unknown transport %q", spec.Transport)
 	}
-	if _, err := buildAdversary(*spec); err != nil {
+	alg, err := algo.Lookup(spec.Algorithm)
+	if err != nil {
+		return err
+	}
+	spec.Algorithm = alg.Name
+	if alg.Name != algo.Approx && (spec.Vertices != 0 || spec.Cycle) {
+		return fmt.Errorf("vertices/cycle apply only to algorithm %q", algo.Approx)
+	}
+	if alg.Name != algo.KSet && spec.FaithfulGuard {
+		return fmt.Errorf("faithful_guard applies only to algorithm %q", algo.KSet)
+	}
+	adv, err := buildAdversary(*spec)
+	if err != nil {
+		return err
+	}
+	// A full dry resolve catches the family-specific problems (approx
+	// proposals outside the vertex range, bad graph sizes) at submission
+	// time, where the client gets a positional error instead of a failed
+	// session.
+	dry := sessionSimSpec(*spec, adv, nil)
+	if err := dry.Resolve(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// sessionSimSpec assembles the sim.Spec a session executes: the family
+// name and its session-configured params, the proposal vector, and the
+// caller's runner (nil for submission-time dry resolution).
+func sessionSimSpec(spec SessionSpec, adv rounds.Adversary, runner func(rounds.Config) (*rounds.Result, error)) sim.Spec {
+	props := spec.Proposals
+	if props == nil {
+		props = sim.SeqProposals(spec.N)
+	}
+	out := sim.Spec{
+		Adversary: adv,
+		Proposals: props,
+		Algorithm: spec.Algorithm,
+		MaxRounds: spec.MaxRounds,
+		Runner:    runner,
+	}
+	switch spec.Algorithm {
+	case algo.Approx:
+		shape := approx.Path
+		if spec.Cycle {
+			shape = approx.Cycle
+		}
+		out.Params = approx.Options{Graph: approx.Graph{Shape: shape, V: spec.Vertices}}
+	default:
+		out.Params = core.Options{ConservativeDecide: !spec.FaithfulGuard}
+	}
+	return out
 }
 
 // buildAdversary maps a session spec onto the adversary catalogue.
@@ -391,14 +455,17 @@ func (s *Service) execute(sess *Session) {
 		timer := time.AfterFunc(d, lr.kill)
 		defer timer.Stop()
 	}
+	am := s.met.algoFamily(sess.Spec.Algorithm)
 	out, err := runSession(sess.Spec, lr, &s.stall)
 	if err != nil {
 		if lr.killed() {
 			s.met.crashed.Add(1)
+			am.crashed.Add(1)
 			s.terminate(sess, "crashed", lr.partial(),
 				fmt.Sprintf("watchdog: session exceeded %v deadline", s.cfg.SessionTimeout))
 			return
 		}
+		am.failed.Add(1)
 		s.finish(sess, nil, err)
 		return
 	}
@@ -411,12 +478,25 @@ func (s *Service) execute(sess *Session) {
 		RST:        out.RST,
 		AllDecided: out.CheckTermination() == nil,
 	}
-	res.KBound = len(res.Distinct) <= res.MinK
+	// The agreement-bound verdict is the family's own oracle now: for
+	// kset, a "k-bound" violation fires exactly when |Distinct| > MinK
+	// (the historical check, bit for bit); for approx, an "agreement"
+	// violation fires when two decisions are not adjacent on the target
+	// graph inside the claimed regime.
+	res.KBound = true
+	for _, v := range out.CheckAlgorithm() {
+		if v.Oracle == "k-bound" || v.Oracle == "agreement" {
+			res.KBound = false
+		}
+	}
 	if !res.KBound {
 		s.met.kboundViolations.Add(1)
 	}
 	s.met.roundsTotal.Add(int64(out.Rounds))
 	s.met.decisionsTotal.Add(int64(len(res.Distinct)))
+	am.completed.Add(1)
+	am.rounds.Add(int64(out.Rounds))
+	am.decisions.Add(int64(len(res.Distinct)))
 	s.finish(sess, res, nil)
 }
 
@@ -431,11 +511,7 @@ func runSession(spec SessionSpec, lr *liveRun, counters *transport.StallCounters
 	if err != nil {
 		return nil, err
 	}
-	props := spec.Proposals
-	if props == nil {
-		props = sim.SeqProposals(spec.N)
-	}
-	ropts := runtime.RunnerOpts{Kind: spec.Transport, OnTransport: lr.onTransport}
+	ropts := runtime.RunnerOpts{Kind: spec.Transport, Algorithm: spec.Algorithm, OnTransport: lr.onTransport}
 	switch spec.Transport {
 	case "udp":
 		// Sessions favor fidelity over round latency: with a generous
@@ -450,14 +526,9 @@ func runSession(spec SessionSpec, lr *liveRun, counters *transport.StallCounters
 		// chaos-tuned future session records.
 		ropts.TCPOpts.Stall.Counters = counters
 	}
-	return sim.Execute(sim.Spec{
-		Adversary: adv,
-		Proposals: props,
-		Opts:      core.Options{ConservativeDecide: !spec.FaithfulGuard},
-		MaxRounds: spec.MaxRounds,
-		Runner:    runtime.NewRunner(ropts),
-		Observer:  lr,
-	})
+	simSpec := sessionSimSpec(spec, adv, runtime.NewRunner(ropts))
+	simSpec.Observer = lr
+	return sim.Execute(simSpec)
 }
 
 // liveRun is the watchdog's view of one executing session: it observes

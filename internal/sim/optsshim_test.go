@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kset/internal/adversary"
+	"kset/internal/core"
+	"kset/internal/stats"
+)
+
+// TestOptsShimByteIdentical pins the deprecated Spec.Opts spelling
+// against Spec.Params: for the same schedule and options the two specs
+// must produce outcomes whose JSON renderings are byte-identical —
+// decisions, rounds, skeleton measurements, meter, and the resolved
+// run record included. Existing callers and saved sweep configs keep
+// the old field; nothing may shift underneath them.
+func TestOptsShimByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(5)
+		adv := adversary.MaterializeRun(
+			adversary.RandomSources(n, 1+rng.Intn(3), rng.Intn(n), 0.3, rng), 12*n)
+		opts := core.Options{
+			ConservativeDecide: trial%2 == 0,
+			PurgeWindow:        (trial % 3) * n,
+		}
+		oldStyle := Spec{Adversary: adv, Proposals: SeqProposals(n), Opts: opts}
+		newStyle := Spec{Adversary: adv, Proposals: SeqProposals(n), Params: opts}
+		a, err := Execute(oldStyle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Execute(newStyle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(aj) != string(bj) {
+			t.Fatalf("trial %d: Opts and Params outcomes differ:\n  opts:   %s\n  params: %s", trial, aj, bj)
+		}
+		if got := a.Run.Params.(core.Options); got != opts {
+			t.Fatalf("trial %d: resolved params %+v, want the shimmed options %+v", trial, got, opts)
+		}
+	}
+}
+
+// TestOptsShimSweepDigestIdentical re-runs a whole streaming sweep with
+// the deprecated spelling and requires the rendered aggregate digest to
+// match the Params spelling byte for byte — the sweep-level face of the
+// shim, covering what ksetbench-style -json sweeps consume.
+func TestOptsShimSweepDigestIdentical(t *testing.T) {
+	digest := func(useShim bool) string {
+		n := 6
+		rounds := stats.NewStream()
+		var distinct stats.Running
+		err := StreamSweep(StreamConfig{
+			Cells:   24,
+			Workers: 4,
+			Spec: func(cell int) (Spec, error) {
+				rng := rand.New(rand.NewSource(CellSeed(99, cell)))
+				s := Spec{
+					Adversary: adversary.RandomSources(n, 1+rng.Intn(3), rng.Intn(n), 0.25, rng),
+					Proposals: SeqProposals(n),
+				}
+				opts := core.Options{ConservativeDecide: cell%2 == 0}
+				if useShim {
+					s.Opts = opts
+				} else {
+					s.Params = opts
+				}
+				return s, nil
+			},
+			OnOutcome: func(cell int, out *Outcome) error {
+				rounds.Add(float64(out.MaxDecisionRound()))
+				distinct.Add(float64(len(out.DistinctDecisions())))
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v | distinct mean=%v max=%v", rounds.Summary(), distinct.Mean(), distinct.Max())
+	}
+	oldStyle, newStyle := digest(true), digest(false)
+	if oldStyle != newStyle {
+		t.Fatalf("sweep digests differ:\n  Opts:   %s\n  Params: %s", oldStyle, newStyle)
+	}
+}

@@ -1,5 +1,6 @@
-// Package sim is the experiment driver: it wires an adversary, Algorithm 1
-// (or a baseline), the skeleton tracker, the wire meter, and the outcome
+// Package sim is the experiment driver: it wires an adversary, a
+// registered algorithm family (internal/algo — Algorithm 1 by default,
+// or a baseline), the skeleton tracker, the wire meter, and the outcome
 // checker into one call (Execute), and runs parameter sweeps on a worker
 // pool — either buffered (Sweep) or sharded-and-streaming (StreamSweep),
 // which delivers outcomes to incremental aggregators in deterministic
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"kset/internal/algo"
 	"kset/internal/core"
 	"kset/internal/graph"
 	"kset/internal/predicate"
@@ -25,16 +27,29 @@ import (
 type Spec struct {
 	// Adversary generates the run; required.
 	Adversary rounds.Adversary
+	// Algorithm names the registered algorithm family to execute; ""
+	// means algo.Default ("kset", Algorithm 1). See internal/algo.
+	Algorithm string
 	// Proposals are the initial values; len must equal Adversary.N().
 	Proposals []int64
+	// Params carries the algorithm family's options (core.Options for
+	// kset, approx.Options for approx); nil means the family defaults.
+	// Resolve normalizes it in place.
+	Params any
 	// Opts configures Algorithm 1.
+	//
+	// Deprecated: Opts is the k-set-only spelling of Params, kept
+	// working for existing callers — when Algorithm is "kset" (or
+	// empty) and Params is nil, Opts is used, and sweeps built either
+	// way produce byte-identical output. New code should set Params.
 	Opts core.Options
 	// NewProcess optionally overrides the algorithm under test (e.g. a
-	// baseline); when nil, Algorithm 1 with Proposals/Opts is used.
+	// baseline); when nil, the registered Algorithm family runs with
+	// Proposals and Params.
 	NewProcess func(self int) rounds.Algorithm
-	// MaxRounds bounds the run; 0 means an automatic bound generous
-	// enough for Lemma 11 (stabilization + 2n + 5, or 12n without a
-	// Stabilizer).
+	// MaxRounds bounds the run; 0 means the family's automatic bound
+	// (for kset, generous enough for Lemma 11: stabilization + 2n + 5,
+	// or 12n without a Stabilizer).
 	MaxRounds int
 	// RunToCompletion keeps executing until MaxRounds even after all
 	// processes decided (needed when later rounds are inspected).
@@ -49,7 +64,9 @@ type Spec struct {
 	// executor. A Runner is single-use when it owns a transport: build a
 	// fresh Spec per Execute call.
 	Runner func(rounds.Config) (*rounds.Result, error)
-	// MeterMessages measures encoded message sizes (Algorithm 1 only).
+	// MeterMessages measures encoded message sizes through the family's
+	// wire codec (for kset, the internal/wire encoding the Section V
+	// bit-complexity claim is stated in).
 	MeterMessages bool
 	// Observer, if non-nil, is notified after every round (in addition
 	// to the skeleton tracker the driver installs).
@@ -78,6 +95,11 @@ type Outcome struct {
 	Skeleton *graph.Digraph
 	// Meter holds wire statistics when Spec.MeterMessages was set.
 	Meter wire.Meter
+	// Run is the resolved algorithm run (family name, normalized
+	// params, stabilization data, round bound) when a registered family
+	// executed; nil when Spec.NewProcess overrode the algorithm.
+	// CheckAlgorithm evaluates the family's oracles against it.
+	Run *algo.Run
 	// Observer echoes Spec.Observer, so sweep consumers that attach
 	// per-run instrumentation to a spec (e.g. the E15 stale-edge meter)
 	// can read it back from the streamed outcome.
@@ -102,42 +124,159 @@ func (m meteredProc) Send(r int) any {
 	return msg
 }
 
-// Execute runs one simulation.
-func Execute(spec Spec) (*Outcome, error) {
-	if spec.Adversary == nil {
-		return nil, fmt.Errorf("sim: nil adversary")
-	}
-	n := spec.Adversary.N()
-	if spec.NewProcess == nil && len(spec.Proposals) != n {
-		return nil, fmt.Errorf("sim: %d proposals for %d processes", len(spec.Proposals), n)
-	}
+// meteredAlg is the family-generic metering wrapper: it measures each
+// outgoing message by encoding it through the family's own codec —
+// exactly the bytes the distributed runtime would put on the wire.
+type meteredAlg struct {
+	rounds.Algorithm
+	dec   rounds.Decider
+	mu    *sync.Mutex
+	codec algo.Codec
+	buf   *[]byte
+	meter *wire.Meter
+}
 
-	maxRounds := spec.MaxRounds
-	if maxRounds == 0 {
-		if s, ok := spec.Adversary.(rounds.Stabilizer); ok {
-			maxRounds = s.StabilizationRound() + 2*n + 5
-		} else {
-			maxRounds = 12 * n
+// Send implements rounds.Algorithm.
+func (m meteredAlg) Send(r int) any {
+	msg := m.Algorithm.Send(r)
+	m.mu.Lock()
+	// Registration self-tests every codec against its family's own
+	// messages, so an encode failure here cannot happen in a registered
+	// family; an unmetered message is the safe degradation regardless.
+	if b, err := m.codec.Encode((*m.buf)[:0], msg); err == nil {
+		*m.buf = b
+		m.meter.Observe(len(b))
+	}
+	m.mu.Unlock()
+	return msg
+}
+
+// Proposal implements rounds.Decider.
+func (m meteredAlg) Proposal() int64 { return m.dec.Proposal() }
+
+// Decided implements rounds.Decider.
+func (m meteredAlg) Decided() bool { return m.dec.Decided() }
+
+// Decision implements rounds.Decider.
+func (m meteredAlg) Decision() (int64, int) { return m.dec.Decision() }
+
+// meteredFactory wraps a family's process factory with metering. The
+// kset family keeps its historical wrapper (byte-identical meters are
+// pinned by the E5 differential battery); other families meter through
+// their codec.
+func meteredFactory(alg *algo.Algorithm, inner func(int) rounds.Algorithm, meter *wire.Meter) func(int) rounds.Algorithm {
+	var mu sync.Mutex
+	if alg.Name == algo.KSet {
+		return func(self int) rounds.Algorithm {
+			return meteredProc{Process: inner(self).(*core.Process), mu: &mu, meter: meter}
 		}
 	}
+	buf := new([]byte)
+	return func(self int) rounds.Algorithm {
+		p := inner(self)
+		dec, ok := p.(rounds.Decider)
+		if !ok {
+			// A family with a custom Collect and no Decider cannot be
+			// wrapped without hiding its real type; run it unmetered.
+			return p
+		}
+		return meteredAlg{Algorithm: p, dec: dec, mu: &mu, codec: alg.Codec, buf: buf, meter: meter}
+	}
+}
+
+// Resolve normalizes the spec in place for its registered algorithm
+// family: it validates the adversary and proposals, applies the
+// deprecated Opts shim, fills Params defaults through the family's
+// Prepare hook, and computes the automatic MaxRounds bound. Execute
+// calls it internally; the differential harness (runtime.Diff) calls it
+// before materializing the schedule, so parameter defaults that depend
+// on the adversary's stabilization round are identical in both
+// executions. Resolve is idempotent.
+func (s *Spec) Resolve() error {
+	if s.Adversary == nil {
+		return fmt.Errorf("sim: nil adversary")
+	}
+	n := s.Adversary.N()
+	if s.NewProcess != nil {
+		if s.MaxRounds == 0 {
+			s.MaxRounds = defaultMaxRounds(s.Adversary)
+		}
+		return nil
+	}
+	if len(s.Proposals) != n {
+		return fmt.Errorf("sim: %d proposals for %d processes", len(s.Proposals), n)
+	}
+	alg, err := algo.Lookup(s.Algorithm)
+	if err != nil {
+		return err
+	}
+	s.Algorithm = alg.Name
+	run := s.algoRun(alg, n)
+	if err := alg.Prepare(&run); err != nil {
+		return err
+	}
+	s.Params = run.Params
+	if s.MaxRounds == 0 {
+		s.MaxRounds = alg.MaxRounds(run)
+	}
+	return nil
+}
+
+// algoRun assembles the family's run description from the spec and the
+// adversary's stabilization data.
+func (s *Spec) algoRun(alg *algo.Algorithm, n int) algo.Run {
+	run := algo.Run{
+		Algorithm: alg.Name,
+		N:         n,
+		Proposals: s.Proposals,
+		Params:    s.Params,
+		MaxRounds: s.MaxRounds,
+	}
+	if alg.Name == algo.KSet && run.Params == nil {
+		run.Params = s.Opts // the deprecated Spec.Opts shim
+	}
+	if st, ok := s.Adversary.(rounds.Stabilizer); ok {
+		run.Stabilizes = true
+		run.Stab = st.StabilizationRound()
+	}
+	return run
+}
+
+// defaultMaxRounds is the historical automatic bound, retained for
+// NewProcess-override runs (baselines): stabilization + 2n + 5, or 12n
+// without a Stabilizer.
+func defaultMaxRounds(adv rounds.Adversary) int {
+	n := adv.N()
+	if s, ok := adv.(rounds.Stabilizer); ok {
+		return s.StabilizationRound() + 2*n + 5
+	}
+	return 12 * n
+}
+
+// Execute runs one simulation.
+func Execute(spec Spec) (*Outcome, error) {
+	if err := spec.Resolve(); err != nil {
+		return nil, err
+	}
+	n := spec.Adversary.N()
 
 	out := &Outcome{Observer: spec.Observer}
 	tracker := skeleton.NewTracker(n, false)
 
 	factory := spec.NewProcess
+	collect := trace.Collect
 	if factory == nil {
-		inner := core.NewFactory(spec.Proposals, spec.Opts)
+		alg := algo.MustLookup(spec.Algorithm)
+		run := spec.algoRun(alg, n)
+		f, err := alg.NewFactory(run)
+		if err != nil {
+			return nil, err
+		}
+		factory = f
+		collect = alg.Collect
+		out.Run = &run
 		if spec.MeterMessages {
-			var mu sync.Mutex
-			factory = func(self int) rounds.Algorithm {
-				return meteredProc{
-					Process: inner(self).(*core.Process),
-					mu:      &mu,
-					meter:   &out.Meter,
-				}
-			}
-		} else {
-			factory = inner
+			factory = meteredFactory(alg, factory, &out.Meter)
 		}
 	}
 
@@ -148,7 +287,7 @@ func Execute(spec Spec) (*Outcome, error) {
 	cfg := rounds.Config{
 		Adversary:  spec.Adversary,
 		NewProcess: factory,
-		MaxRounds:  maxRounds,
+		MaxRounds:  spec.MaxRounds,
 		Observer:   observer,
 	}
 	if !spec.RunToCompletion {
@@ -167,7 +306,7 @@ func Execute(spec Spec) (*Outcome, error) {
 		return nil, err
 	}
 
-	oc, err := trace.Collect(res)
+	oc, err := collect(res)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +326,31 @@ func Execute(spec Spec) (*Outcome, error) {
 	out.RootComps = len(graph.RootComponents(out.Skeleton))
 	out.MinK = minKOf(out.Skeleton)
 	return out, nil
+}
+
+// CheckAlgorithm evaluates the executed family's whole-run oracles
+// (validity, agreement/k-bound, termination — as the family defines
+// them) against this outcome and returns the violations; nil when every
+// oracle held, and nil for NewProcess-override runs, which have no
+// registered oracle set. A violation means the algorithm, an executor,
+// or a transport broke its contract — internal/check's whole-trace
+// oracles and the service's per-session bound verdicts are built on
+// this hook.
+func (o *Outcome) CheckAlgorithm() []algo.Violation {
+	if o.Run == nil {
+		return nil
+	}
+	alg, err := algo.Lookup(o.Run.Algorithm)
+	if err != nil || alg.Check == nil {
+		return nil
+	}
+	oc := o.Outcome
+	return alg.Check(*o.Run, algo.Facts{
+		Outcome:   &oc,
+		Skeleton:  o.Skeleton,
+		RootComps: o.RootComps,
+		MinK:      o.MinK,
+	})
 }
 
 // minKOf computes Outcome.MinK. The exact independence-number search is

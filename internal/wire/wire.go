@@ -57,9 +57,15 @@ func AppendEncode(dst []byte, m core.Message) []byte {
 	dst = binary.AppendVarint(dst, m.X)
 	n := m.G.N()
 	dst = binary.AppendUvarint(dst, uint64(n))
-	bitmap := make([]byte, (n+7)/8)
+	// Reserve the bitmap region inside dst and set bits in place, so
+	// steady-state encoding into a reused buffer stays allocation-free.
+	pad := (n + 7) / 8
+	base := len(dst)
+	for i := 0; i < pad; i++ {
+		dst = append(dst, 0)
+	}
+	bitmap := dst[base : base+pad]
 	m.G.ForEachNode(func(v int) { bitmap[v/8] |= 1 << (v % 8) })
-	dst = append(dst, bitmap...)
 	dst = binary.AppendUvarint(dst, uint64(m.G.NumEdges()))
 	m.G.ForEachEdge(func(u, v, label int) {
 		dst = binary.AppendUvarint(dst, uint64(u))
